@@ -1,0 +1,30 @@
+// Ablation: NoC link bandwidth. With narrow links the mesh congests and
+// placement quality acts through queueing (traffic reduction, Fig. 12); with
+// wide links only raw hop latency remains. Quantifies how much of TD-NUCA's
+// gain is bandwidth-mediated (DESIGN.md decision on link sizing).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  harness::print_figure_header(
+      "Ablation", "link bandwidth (workload: lu, speedup of TD-NUCA over "
+                  "S-NUCA at the same bandwidth)");
+  stats::Table table({"bytes/cycle", "S-NUCA cycles", "TD-NUCA cycles",
+                      "speedup"});
+  for (const unsigned bpc : {8u, 16u, 32u, 64u}) {
+    double cycles[2];
+    int i = 0;
+    for (const auto pol : {PolicyKind::SNuca, PolicyKind::TdNuca}) {
+      harness::RunConfig cfg;
+      cfg.workload = "lu";
+      cfg.policy = pol;
+      cfg.sys.network.link_bytes_per_cycle = bpc;
+      cycles[i++] = harness::run_experiment(cfg).get("sim.cycles");
+    }
+    table.add_row({std::to_string(bpc), stats::Table::num(cycles[0], 0),
+                   stats::Table::num(cycles[1], 0),
+                   stats::Table::num(cycles[0] / cycles[1], 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Ablation: LLC bank capacity. TD-NUCA's bypass advantage is strongest when
+// the baseline is capacity-stressed; as banks grow and the working set fits,
+// S-NUCA recovers and the bypass margin narrows (the paper sizes every input
+// set well beyond the LLC for exactly this reason, Table II).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  harness::print_figure_header(
+      "Ablation", "LLC bank capacity (workload: redblack, speedup vs S-NUCA "
+                  "at the same capacity)");
+  stats::Table table(
+      {"bank KiB", "total MiB", "S-NUCA cycles", "TD-NUCA cycles", "speedup"});
+  for (const Addr bank_kib : {128ull, 256ull, 512ull, 1024ull}) {
+    double cycles[2];
+    int i = 0;
+    for (const auto pol : {PolicyKind::SNuca, PolicyKind::TdNuca}) {
+      harness::RunConfig cfg;
+      cfg.workload = "redblack";
+      cfg.policy = pol;
+      cfg.sys.hierarchy.llc_bank.size_bytes = bank_kib * kKiB;
+      cycles[i++] = harness::run_experiment(cfg).get("sim.cycles");
+    }
+    table.add_row({std::to_string(bank_kib),
+                   stats::Table::num(bank_kib * 16 / 1024.0, 1),
+                   stats::Table::num(cycles[0], 0),
+                   stats::Table::num(cycles[1], 0),
+                   stats::Table::num(cycles[0] / cycles[1], 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

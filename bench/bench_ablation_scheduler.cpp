@@ -1,0 +1,32 @@
+// Ablation: dynamic scheduler policy (FIFO vs predecessor-affinity) under
+// each NUCA design. Affinity partially restores the task/core stability that
+// OS page classification needs — quantifying how much of R-NUCA's weakness
+// is scheduler-induced (paper Sec. II-C), and whether TD-NUCA (which is
+// scheduler-agnostic by construction) cares.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace bench;
+  harness::print_figure_header("Ablation", "scheduler policy (cycles)");
+  stats::Table table({"bench", "policy", "fifo", "affinity", "affinity/fifo"});
+  for (const char* wl : {"kmeans", "lu"}) {
+    for (const auto pol :
+         {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca}) {
+      double cycles[2];
+      for (int s = 0; s < 2; ++s) {
+        harness::RunConfig cfg;
+        cfg.workload = wl;
+        cfg.policy = pol;
+        cfg.sys.scheduler = s == 0 ? system::SchedulerKind::Fifo
+                                   : system::SchedulerKind::Affinity;
+        cycles[s] = harness::run_experiment(cfg).get("sim.cycles");
+      }
+      table.add_row({wl, system::to_string(pol),
+                     stats::Table::num(cycles[0], 0),
+                     stats::Table::num(cycles[1], 0),
+                     stats::Table::num(cycles[1] / cycles[0], 3)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared plumbing for the figure-regeneration binaries: one full-suite
+// simulation sweep, memoized on disk so the per-figure binaries share it.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/figures.hpp"
+#include "harness/paper_ref.hpp"
+#include "harness/runner.hpp"
+#include "stats/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace bench {
+
+using namespace tdn;
+using harness::RunResult;
+using system::PolicyKind;
+
+inline std::vector<RunResult> suite(std::vector<PolicyKind> policies) {
+  return harness::run_suite(policies, workloads::WorkloadParams{});
+}
+
+inline std::vector<RunResult> suite_srt() {
+  return suite({PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca});
+}
+
+inline void print_normalized(const std::string& id, const std::string& caption,
+                             const harness::NormalizedFigure& fig,
+                             const std::vector<RunResult>& results) {
+  harness::print_figure_header(id, caption);
+  const auto [table, gm] = harness::normalized_table(fig, results);
+  std::printf("%s", table.to_string().c_str());
+  std::printf("measured geomean (last column): %.3f   paper average: %.3f\n",
+              gm, fig.paper_avg);
+}
+
+}  // namespace bench

@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks of the simulation substrate itself:
+// event-queue throughput, cache-array probes, RRT range lookups, XY routing
+// and region-map dependence analysis. These bound the simulator's wall-clock
+// cost per modeled event (DESIGN.md decision 1).
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_array.hpp"
+#include "common/prng.hpp"
+#include "noc/mesh.hpp"
+#include "runtime/region_map.hpp"
+#include "sim/event_queue.hpp"
+#include "tdnuca/cluster_map.hpp"
+#include "tdnuca/rrt.hpp"
+
+using namespace tdn;
+
+static void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i)
+      eq.schedule_at(static_cast<Cycle>(i * 7 % 997), [&] { ++sink; });
+    eq.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueue);
+
+static void BM_CacheArrayProbe(benchmark::State& state) {
+  struct M {
+    bool dirty = false;
+  };
+  cache::CacheArray<M> arr({256 * kKiB, 16, 64});
+  SplitMix64 rng(1);
+  std::optional<cache::CacheArray<M>::Eviction> ev;
+  for (int i = 0; i < 4096; ++i) arr.allocate(rng.next_below(1 << 20) * 64, ev);
+  SplitMix64 probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.find(probe.next_below(1 << 20) * 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayProbe);
+
+static void BM_RrtLookup(benchmark::State& state) {
+  tdnuca::Rrt rrt(64, 1);
+  for (Addr i = 0; i < 64; ++i)
+    rrt.register_range({i * 0x10000, i * 0x10000 + 0x8000},
+                       BankMask::single(static_cast<CoreId>(i % 16)));
+  SplitMix64 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rrt.lookup(rng.next_below(64) * 0x10000 + 0x4000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RrtLookup);
+
+static void BM_XyRoute(benchmark::State& state) {
+  noc::Mesh mesh(4, 4);
+  SplitMix64 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mesh.xy_route(
+        static_cast<CoreId>(rng.next_below(16)),
+        static_cast<CoreId>(rng.next_below(16))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XyRoute);
+
+static void BM_ClusterInterleave(benchmark::State& state) {
+  noc::Mesh mesh(4, 4);
+  tdnuca::ClusterMap cm(mesh);
+  const BankMask mask = cm.mask_of(1);
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tdnuca::ClusterMap::bank_for_mask(mask, a += 64));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterInterleave);
+
+static void BM_RegionMapAccess(benchmark::State& state) {
+  for (auto _ : state) {
+    runtime::RegionMap rm;
+    for (TaskId t = 0; t < 256; ++t) {
+      const Addr base = (t % 64) * 0x8000;
+      benchmark::DoNotOptimize(
+          rm.access({base, base + 0x8000}, t, t % 3 == 0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RegionMapAccess);

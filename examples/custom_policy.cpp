@@ -1,0 +1,99 @@
+// custom_policy — extend the library with your own NUCA mapping policy.
+//
+// Implements "column NUCA": every cache block maps to a bank in the
+// requester's mesh column (interleaved by address), halving the average
+// NUCA distance versus full-chip interleaving without any software support.
+// Demonstrates assembling a simulated machine from the library's parts
+// instead of using the TiledSystem convenience wrapper.
+//
+//   $ ./custom_policy
+#include <cstdio>
+
+#include "coherence/coherent_system.hpp"
+#include "core/sim_core.hpp"
+#include "mem/address_space.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "nuca/snuca.hpp"
+#include "runtime/runtime_system.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace tdn;
+
+namespace {
+
+/// Map each block to one of the banks in the requesting core's column.
+class ColumnNucaPolicy final : public nuca::MappingPolicy {
+ public:
+  explicit ColumnNucaPolicy(const noc::Mesh& mesh) : mesh_(mesh) {}
+  const char* name() const override { return "Column-NUCA"; }
+
+  nuca::MapDecision map(CoreId core, Addr /*vaddr*/, Addr paddr,
+                        AccessKind /*kind*/) override {
+    const noc::Coord c = mesh_.coord(core);
+    const unsigned row = static_cast<unsigned>((paddr / 64) % mesh_.height());
+    return nuca::MapDecision::to_bank(mesh_.tile({c.x, row}));
+  }
+
+ private:
+  const noc::Mesh& mesh_;
+};
+
+Cycle run(nuca::MappingPolicy& policy) {
+  sim::EventQueue eq;
+  noc::Mesh mesh(4, 4);
+  noc::Network net(mesh, eq, {});
+  mem::MemControllers mcs(4, {0, 3, 12, 15}, {});
+  mem::PageTable pt;
+  coherence::CoherentSystem caches(eq, net, mesh, mcs, policy, {}, 16);
+
+  std::vector<std::unique_ptr<core::SimCore>> cores;
+  std::vector<core::SimCore*> core_ptrs;
+  for (CoreId i = 0; i < 16; ++i) {
+    cores.push_back(std::make_unique<core::SimCore>(i, eq, caches, pt));
+    core_ptrs.push_back(cores.back().get());
+  }
+  runtime::FifoScheduler sched;
+  runtime::RuntimeHooks hooks;  // no runtime/hardware co-design here
+  runtime::RuntimeSystem rt(eq, core_ptrs, sched, hooks);
+
+  // Workload: every core streams through its own 256 KiB buffer twice.
+  mem::VirtualSpace vs;
+  for (int i = 0; i < 16; ++i) {
+    const AddrRange buf = vs.allocate(256 * kKiB, 64, "buf");
+    const DepId dep = rt.region(buf, "buf");
+    core::TaskProgram prog;
+    core::AccessPhase r;
+    r.range = buf;
+    r.kind = AccessKind::Read;
+    r.passes = 2;
+    r.compute_per_touch = 2;
+    prog.add_phase(r);
+    rt.create_task("stream", {{dep, DepUse::In}}, std::move(prog));
+  }
+
+  bool done = false;
+  rt.run([&] { done = true; });
+  eq.run();
+  std::printf("%-14s %10llu cycles   mean NUCA distance %.2f   NoC bytes %llu\n",
+              policy.name(), static_cast<unsigned long long>(rt.makespan()),
+              caches.stats().nuca_distance.mean(),
+              static_cast<unsigned long long>(net.total_router_bytes()));
+  return rt.makespan();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Custom policy example: column-interleaved NUCA vs S-NUCA\n\n");
+  noc::Mesh mesh(4, 4);
+  nuca::SNucaPolicy snuca(16);
+  ColumnNucaPolicy column(mesh);
+  const Cycle s = run(snuca);
+  const Cycle c = run(column);
+  std::printf("\nColumn-NUCA speedup: %.3fx\n",
+              static_cast<double>(s) / static_cast<double>(c));
+  return 0;
+}

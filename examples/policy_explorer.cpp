@@ -1,0 +1,41 @@
+// policy_explorer — run any of the paper's workloads under every policy and
+// print the headline metrics side by side.
+//
+//   $ ./policy_explorer [workload] [scale]
+//   $ ./policy_explorer lu 0.5
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/runner.hpp"
+#include "stats/table.hpp"
+#include "workloads/workload.hpp"
+
+using namespace tdn;
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "lu";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("policy explorer: workload=%s scale=%.2f\n\n", workload.c_str(),
+              scale);
+  stats::Table table({"policy", "cycles", "LLC accesses", "hit ratio",
+                      "NUCA dist", "NoC bytes", "DRAM accesses"});
+  for (const auto policy :
+       {system::PolicyKind::SNuca, system::PolicyKind::RNuca,
+        system::PolicyKind::TdNuca, system::PolicyKind::TdNucaBypassOnly}) {
+    harness::RunConfig cfg;
+    cfg.workload = workload;
+    cfg.policy = policy;
+    cfg.params.scale = scale;
+    const auto r = harness::run_experiment(cfg);
+    table.add_row({r.policy, stats::Table::num(r.get("sim.cycles"), 0),
+                   stats::Table::num(r.get("llc.accesses"), 0),
+                   stats::Table::num(r.get("llc.hit_ratio"), 3),
+                   stats::Table::num(r.get("nuca.mean_distance"), 2),
+                   stats::Table::num(r.get("noc.router_bytes"), 0),
+                   stats::Table::num(r.get("dram.accesses"), 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart — build a tiny task dataflow program, run it on the simulated
+// 16-tile machine under S-NUCA and TD-NUCA, and compare the outcomes.
+//
+//   $ ./quickstart
+//
+// The program is a two-stage pipeline: producer tasks write blocks (out),
+// consumer tasks read them (in) and emit results that nothing ever reuses —
+// the sweet spot for TD-NUCA's local-bank mapping + LLC bypass.
+#include <cstdio>
+
+#include "system/tiled_system.hpp"
+
+using namespace tdn;
+
+namespace {
+
+// Build the same little program into any system: 32 producer/consumer pairs
+// over 48 KiB blocks.
+void build_pipeline(system::TiledSystem& sys) {
+  auto& rt = sys.runtime();
+  auto& vs = sys.vspace();
+  const Cycle compute = 4;
+  for (int i = 0; i < 32; ++i) {
+    const AddrRange block = vs.allocate(48 * kKiB, 64, "block");
+    const AddrRange result = vs.allocate(4 * kKiB, 64, "result");
+    const DepId block_dep = rt.region(block, "block");
+    const DepId result_dep = rt.region(result, "result");
+
+    core::TaskProgram produce;
+    core::AccessPhase w;
+    w.range = block;
+    w.kind = AccessKind::Write;
+    w.compute_per_touch = compute;
+    produce.add_phase(w);
+    rt.create_task("produce", {{block_dep, DepUse::Out}}, std::move(produce));
+
+    core::TaskProgram consume;
+    core::AccessPhase r;
+    r.range = block;
+    r.kind = AccessKind::Read;
+    r.compute_per_touch = compute;
+    consume.add_phase(r);
+    core::AccessPhase out;
+    out.range = result;
+    out.kind = AccessKind::Write;
+    out.compute_per_touch = compute;
+    consume.add_phase(out);
+    rt.create_task("consume",
+                   {{block_dep, DepUse::In}, {result_dep, DepUse::Out}},
+                   std::move(consume));
+  }
+}
+
+Cycle run_policy(system::PolicyKind policy, const char* label) {
+  system::SystemConfig cfg;
+  cfg.policy = policy;
+  system::TiledSystem sys(cfg);
+  build_pipeline(sys);
+  const Cycle cycles = sys.run();
+  std::printf("%-22s %10llu cycles   LLC accesses %8.0f   hit ratio %.2f   "
+              "NUCA distance %.2f\n",
+              label, static_cast<unsigned long long>(cycles),
+              static_cast<double>(sys.caches().llc_accesses()),
+              sys.caches().llc_hit_ratio(),
+              sys.caches().stats().nuca_distance.mean());
+  return cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("TD-NUCA quickstart: 32 producer->consumer block pipelines on a "
+              "4x4-tile CMP\n\n");
+  const Cycle s = run_policy(system::PolicyKind::SNuca, "S-NUCA (baseline)");
+  const Cycle r = run_policy(system::PolicyKind::RNuca, "R-NUCA");
+  const Cycle t = run_policy(system::PolicyKind::TdNuca, "TD-NUCA");
+  std::printf("\nspeedup over S-NUCA:  R-NUCA %.3fx   TD-NUCA %.3fx\n",
+              static_cast<double>(s) / static_cast<double>(r),
+              static_cast<double>(s) / static_cast<double>(t));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Miss Status Holding Registers: outstanding-miss tracking with same-line
+// request merging and a finite capacity (structural hazard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "stats/counters.hpp"
+
+namespace tdn::cache {
+
+class MshrFile {
+ public:
+  explicit MshrFile(unsigned capacity = 16) : capacity_(capacity) {}
+
+  /// Result of registering a miss for @p line_addr.
+  enum class Outcome {
+    NewEntry,  ///< primary miss: caller must launch the transaction
+    Merged,    ///< secondary miss: callback queued behind the in-flight one
+    Full,      ///< no free MSHR: caller must retry later
+  };
+
+  Outcome register_miss(Addr line_addr, std::function<void()> on_fill);
+
+  bool in_flight(Addr line_addr) const { return entries_.count(line_addr) != 0; }
+  std::size_t outstanding() const noexcept { return entries_.size(); }
+  unsigned capacity() const noexcept { return capacity_; }
+
+  /// Complete the miss: pops the entry and returns all queued callbacks
+  /// (primary first) for the caller to run.
+  std::vector<std::function<void()>> complete(Addr line_addr);
+
+  std::uint64_t merges() const noexcept { return merges_.value(); }
+  std::uint64_t structural_stalls() const noexcept { return full_.value(); }
+
+ private:
+  unsigned capacity_;
+  std::unordered_map<Addr, std::vector<std::function<void()>>> entries_;
+  stats::Counter merges_;
+  stats::Counter full_;
+};
+
+}  // namespace tdn::cache

@@ -1,0 +1,512 @@
+#include "coherence/coherent_system.hpp"
+
+#include "sim/joiner.hpp"
+
+namespace tdn::coherence {
+
+using noc::MsgClass;
+
+CoherentSystem::CoherentSystem(sim::EventQueue& eq, noc::Network& net,
+                               const noc::Mesh& mesh, mem::MemControllers& mcs,
+                               nuca::MappingPolicy& policy, HierarchyConfig cfg,
+                               unsigned num_cores)
+    : eq_(eq), net_(net), mesh_(mesh), mcs_(mcs), policy_(policy), cfg_(cfg),
+      num_cores_(num_cores) {
+  TDN_REQUIRE(num_cores_ > 0 && num_cores_ <= mesh.tiles(),
+              "core count must fit the mesh");
+  // Skip the bank-interleave bits when indexing sets inside a bank; see
+  // CacheGeometry::set_index_shift.
+  if (is_pow2(num_cores_) && cfg_.llc_bank.set_index_shift == 0)
+    cfg_.llc_bank.set_index_shift = log2_exact(num_cores_);
+  l1s_.reserve(num_cores_);
+  banks_.reserve(num_cores_);
+  for (unsigned i = 0; i < num_cores_; ++i) {
+    l1s_.emplace_back(cfg_);
+    banks_.emplace_back(cfg_);
+  }
+  policy_.set_ops(this);
+}
+
+std::uint64_t CoherentSystem::llc_resident_lines() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b.array.occupied_lines();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Demand path
+// --------------------------------------------------------------------------
+
+void CoherentSystem::access(CoreId core, Addr vaddr, Addr paddr,
+                            AccessKind kind,
+                            std::function<void(Cycle)> done) {
+  access_internal(core, vaddr, paddr, kind, std::move(done),
+                  /*replay=*/false);
+}
+
+void CoherentSystem::access_internal(CoreId core, Addr vaddr, Addr paddr,
+                                     AccessKind kind,
+                                     std::function<void(Cycle)> done,
+                                     bool replay) {
+  const Cycle hook_lat = replay ? 0 : policy_.on_access(core, vaddr, kind);
+  const Addr line = line_of(paddr);
+  L1& l1 = l1s_[core];
+  auto* ln = l1.array.find(line);
+  if (ln != nullptr) {
+    if (kind == AccessKind::Write && ln->meta.state == L1Meta::State::S &&
+        ln->meta.home != kInvalidBank) {
+      // Write hit on a shared line: needs an upgrade transaction.
+      if (!replay) stats_.l1_misses.inc();
+      start_miss(core, vaddr, line, kind, eq_.now(), std::move(done));
+      return;
+    }
+    if (!replay) stats_.l1_hits.inc();
+    if (kind == AccessKind::Write) {
+      ln->meta.state = L1Meta::State::M;
+      ln->meta.dirty = true;
+    }
+    l1.array.touch(line);
+    done(eq_.now() + cfg_.l1_latency + hook_lat);
+    return;
+  }
+  if (!replay) stats_.l1_misses.inc();
+  start_miss(core, vaddr, line, kind, eq_.now(), std::move(done));
+}
+
+void CoherentSystem::start_miss(CoreId core, Addr vaddr, Addr line,
+                                AccessKind kind, Cycle issued_at,
+                                std::function<void(Cycle)> done) {
+  L1& l1 = l1s_[core];
+  // Structural hazard: all MSHRs busy and this line is not mergeable.
+  // Back off and retry the whole miss.
+  if (!l1.mshr.in_flight(line) &&
+      l1.mshr.outstanding() >= l1.mshr.capacity()) {
+    stats_.mshr_stalls.inc();
+    eq_.schedule_in(cfg_.mshr_retry_delay,
+                    [this, core, vaddr, line, kind, issued_at,
+                     done = std::move(done)]() mutable {
+                      start_miss(core, vaddr, line, kind, issued_at,
+                                 std::move(done));
+                    });
+    return;
+  }
+  // Retrying through the full access path replays the reference once the
+  // fill lands; the line is then (normally) an L1 hit.
+  auto retry = [this, core, vaddr, line, kind, issued_at,
+                done = std::move(done)]() mutable {
+    // Note: `line` recomputes identically as paddr (it is line-aligned).
+    // The replay is the same demand access: it must not re-count stats.
+    stats_.miss_latency.add(static_cast<double>(eq_.now() - issued_at));
+    access_internal(core, vaddr, line, kind, std::move(done),
+                    /*replay=*/true);
+  };
+  const auto outcome = l1.mshr.register_miss(line, std::move(retry));
+  TDN_ASSERT(outcome != cache::MshrFile::Outcome::Full);
+  if (outcome == cache::MshrFile::Outcome::NewEntry) {
+    launch_transaction(core, vaddr, line, kind, issued_at);
+  }
+}
+
+void CoherentSystem::launch_transaction(CoreId core, Addr vaddr, Addr line,
+                                        AccessKind kind, Cycle /*issued_at*/) {
+  const nuca::MapDecision d = policy_.map(core, vaddr, line, kind);
+  const Cycle send_at = eq_.now() + cfg_.l1_latency + d.lookup_latency;
+  if (d.kind == nuca::MapDecision::Kind::Bypass) {
+    eq_.schedule_at(send_at,
+                    [this, core, line, kind] { bypass_fetch(core, line, kind, eq_.now()); });
+    return;
+  }
+  stats_.nuca_distance.add(static_cast<double>(mesh_.hops(core, d.bank)));
+  eq_.schedule_at(send_at, [this, core, line, kind, bank = d.bank] {
+    net_.send(core, bank, MsgClass::Control,
+              [this, bank, core, line, kind] { bank_request(bank, core, line, kind); });
+  });
+}
+
+// --------------------------------------------------------------------------
+// LLC bank / directory
+// --------------------------------------------------------------------------
+
+void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
+                                  AccessKind kind) {
+  Bank& b = banks_[bank];
+  auto process = [this, bank, requester, line, kind] {
+    Bank& bb = banks_[bank];
+    const Cycle start = eq_.now() > bb.next_free ? eq_.now() : bb.next_free;
+    bb.next_free = start + cfg_.bank_service_interval;
+    eq_.schedule_at(start + cfg_.llc_latency, [this, bank, requester, line, kind] {
+      stats_.llc_requests.inc();
+      auto* ln = banks_[bank].array.find(line);
+      if (ln == nullptr) {
+        stats_.llc_misses.inc();
+        bank_fetch_from_memory(bank, requester, line, kind);
+        return;
+      }
+      stats_.llc_hits.inc();
+      banks_[bank].array.touch(line);
+      if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
+      else bank_respond_write(bank, requester, line);
+    });
+  };
+  auto it = b.blocked.find(line);
+  if (it != b.blocked.end()) {
+    it->second.push_back(std::move(process));  // blocking directory
+    return;
+  }
+  b.blocked.emplace(line, std::deque<std::function<void()>>{});
+  process();
+}
+
+void CoherentSystem::bank_respond_read(BankId bank, CoreId requester,
+                                       Addr line) {
+  auto* ln = banks_[bank].array.find(line);
+  TDN_ASSERT(ln != nullptr);
+  LlcMeta& meta = ln->meta;
+  const CoreId owner = meta.owner;
+  meta.sharers.set(requester);
+  if (owner != kInvalidCore && owner != requester) {
+    // Another L1 holds the line in M: forward, owner downgrades to S and
+    // writes the dirty data back to the LLC while sourcing the requester.
+    meta.owner = kInvalidCore;
+    meta.sharers.set(owner);
+    net_.send(bank, owner, MsgClass::Control, [this, bank, owner, requester, line] {
+      auto* oln = l1s_[owner].array.find(line);
+      const bool has_copy = oln != nullptr;
+      if (has_copy) {
+        oln->meta.state = L1Meta::State::S;
+        oln->meta.dirty = false;
+        net_.send(owner, bank, MsgClass::Data, [this, bank, line] {
+          if (auto* l = banks_[bank].array.find(line)) l->meta.dirty = true;
+        });
+      }
+      // Source the data to the requester (from the owner if it still has the
+      // copy; otherwise the crossing PutM means the LLC copy is usable and we
+      // source from the bank — same message count either way in this model).
+      const CoreId src = has_copy ? owner : bank;
+      net_.send(src, requester, MsgClass::Data, [this, bank, requester, line] {
+        l1_fill(requester, line, L1Meta{L1Meta::State::S, false, bank});
+        bank_unblock(bank, line);
+      });
+    });
+    return;
+  }
+  if (owner == requester) meta.owner = kInvalidCore;  // crossing PutM
+  net_.send(bank, requester, MsgClass::Data, [this, bank, requester, line] {
+    l1_fill(requester, line, L1Meta{L1Meta::State::S, false, bank});
+    bank_unblock(bank, line);
+  });
+}
+
+void CoherentSystem::bank_respond_write(BankId bank, CoreId requester,
+                                        Addr line) {
+  auto* ln = banks_[bank].array.find(line);
+  TDN_ASSERT(ln != nullptr);
+  LlcMeta& meta = ln->meta;
+  // Collect every L1 that may hold a copy (sharer bits can be stale after
+  // silent evictions; invalidating a non-holder just costs an ack).
+  CoreMask targets = meta.sharers;
+  if (meta.owner != kInvalidCore) targets.set(meta.owner);
+  targets.clear(requester);
+  meta.owner = requester;
+  meta.sharers = CoreMask::none();
+
+  auto grant = [this, bank, requester, line] {
+    // Upgrade if the requester still holds the line in S; otherwise a fresh
+    // fill. An upgrade grant carries no data.
+    auto* rl = l1s_[requester].array.find(line);
+    const MsgClass cls = rl != nullptr ? MsgClass::Control : MsgClass::Data;
+    net_.send(bank, requester, cls, [this, bank, requester, line] {
+      auto* rl2 = l1s_[requester].array.find(line);
+      if (rl2 != nullptr) {
+        rl2->meta.state = L1Meta::State::M;
+        rl2->meta.dirty = true;
+        l1s_[requester].array.touch(line);
+        // Replay any merged misses waiting on this line.
+        if (l1s_[requester].mshr.in_flight(line)) {
+          for (auto& cb : l1s_[requester].mshr.complete(line))
+            eq_.schedule_in(0, std::move(cb));
+        }
+      } else {
+        l1_fill(requester, line, L1Meta{L1Meta::State::M, true, bank});
+      }
+      bank_unblock(bank, line);
+    });
+  };
+
+  if (targets.empty()) {
+    grant();
+    return;
+  }
+  auto join = sim::make_joiner(std::move(grant));
+  targets.for_each([&](CoreId t) {
+    join->add();
+    stats_.invalidations_sent.inc();
+    net_.send(bank, t, MsgClass::Control, [this, bank, t, line, join] {
+      const bool dirty = l1_invalidate(t, line, /*writeback_to_memory=*/false);
+      // Ack (with data if the copy was dirty) back to the bank.
+      const MsgClass cls = dirty ? MsgClass::Data : MsgClass::Control;
+      net_.send(t, bank, cls, [this, bank, line, dirty, join] {
+        if (dirty) {
+          if (auto* l = banks_[bank].array.find(line)) l->meta.dirty = true;
+        }
+        join->complete();
+      });
+    });
+  });
+  join->arm();
+}
+
+void CoherentSystem::bank_fetch_from_memory(BankId bank, CoreId requester,
+                                            Addr line, AccessKind kind) {
+  const unsigned mc = mcs_.index_for(line);
+  const CoreId mc_tile = mcs_.tile_of(mc);
+  net_.send(bank, mc_tile, MsgClass::Control, [this, bank, requester, line, kind,
+                                               mc, mc_tile] {
+    const Cycle ready = mcs_.mc(mc).request(eq_.now(), AccessKind::Read);
+    eq_.schedule_at(ready, [this, bank, requester, line, kind, mc_tile] {
+      net_.send(mc_tile, bank, MsgClass::Data, [this, bank, requester, line, kind] {
+        bank_install(bank, line);
+        if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
+        else bank_respond_write(bank, requester, line);
+      });
+    });
+  });
+}
+
+void CoherentSystem::bank_install(BankId bank, Addr line) {
+  Bank& b = banks_[bank];
+  std::optional<cache::CacheArray<LlcMeta>::Eviction> evicted;
+  auto busy = [&b](Addr a) { return b.blocked.count(a) != 0; };
+  b.array.allocate(line, evicted, busy);
+  if (!evicted) return;
+  stats_.llc_evictions.inc();
+  const Addr va = evicted->addr;
+  const LlcMeta vm = evicted->meta;
+  // Inclusive LLC: displace any L1 copies (back-invalidation). Owners write
+  // their dirty data straight to memory.
+  CoreMask copies = vm.sharers;
+  if (vm.owner != kInvalidCore) copies.set(vm.owner);
+  copies.for_each([&](CoreId t) {
+    stats_.back_invalidations.inc();
+    net_.send(bank, t, MsgClass::Control, [this, t, va] {
+      l1_invalidate(t, va, /*writeback_to_memory=*/true);
+    });
+  });
+  if (vm.dirty) memory_writeback(bank, va);
+}
+
+void CoherentSystem::bank_unblock(BankId bank, Addr line) {
+  Bank& b = banks_[bank];
+  auto it = b.blocked.find(line);
+  TDN_ASSERT(it != b.blocked.end());
+  if (it->second.empty()) {
+    b.blocked.erase(it);
+    return;
+  }
+  auto next = std::move(it->second.front());
+  it->second.pop_front();
+  eq_.schedule_in(0, std::move(next));  // line stays blocked for `next`
+}
+
+void CoherentSystem::bank_writeback(BankId bank, CoreId from, Addr line) {
+  stats_.llc_writebacks.inc();
+  auto* ln = banks_[bank].array.find(line);
+  if (ln == nullptr) {
+    // The line was evicted from the (inclusive) LLC while the PutM crossed a
+    // back-invalidation; forward the data to memory.
+    memory_writeback(bank, line);
+    return;
+  }
+  ln->meta.dirty = true;
+  if (ln->meta.owner == from) ln->meta.owner = kInvalidCore;
+}
+
+// --------------------------------------------------------------------------
+// L1 side
+// --------------------------------------------------------------------------
+
+void CoherentSystem::l1_fill(CoreId core, Addr line, L1Meta meta) {
+  L1& l1 = l1s_[core];
+  if (l1.array.find(line) == nullptr) {
+    std::optional<cache::CacheArray<L1Meta>::Eviction> evicted;
+    auto busy = [&l1](Addr a) { return l1.mshr.in_flight(a); };
+    auto& ln = l1.array.allocate(line, evicted, busy);
+    ln.meta = meta;
+    if (evicted) l1_evict_victim(core, evicted->addr, evicted->meta);
+  }
+  if (l1.mshr.in_flight(line)) {
+    for (auto& cb : l1.mshr.complete(line)) eq_.schedule_in(0, std::move(cb));
+  }
+}
+
+void CoherentSystem::l1_evict_victim(CoreId core, Addr line,
+                                     const L1Meta& meta) {
+  if (!meta.dirty && meta.state != L1Meta::State::M) return;  // silent
+  if (!meta.dirty) return;  // clean M (never written): silent eviction
+  if (meta.home == kInvalidBank) {
+    stats_.bypass_writebacks.inc();
+    memory_writeback(core, line);
+    return;
+  }
+  net_.send(core, meta.home, MsgClass::Data,
+            [this, bank = meta.home, core, line] { bank_writeback(bank, core, line); });
+}
+
+bool CoherentSystem::l1_invalidate(CoreId core, Addr line,
+                                   bool writeback_to_memory) {
+  auto m = l1s_[core].array.invalidate(line);
+  if (!m) return false;
+  const bool dirty = m->dirty;
+  if (dirty && writeback_to_memory) memory_writeback(core, line);
+  return dirty;
+}
+
+// --------------------------------------------------------------------------
+// Bypass + memory
+// --------------------------------------------------------------------------
+
+void CoherentSystem::bypass_fetch(CoreId core, Addr line, AccessKind kind,
+                                  Cycle /*issued_at*/) {
+  stats_.bypass_reads.inc();
+  const unsigned mc = mcs_.index_for(line);
+  const CoreId mc_tile = mcs_.tile_of(mc);
+  net_.send(core, mc_tile, MsgClass::Control, [this, core, line, kind, mc, mc_tile] {
+    const Cycle ready = mcs_.mc(mc).request(eq_.now(), AccessKind::Read);
+    eq_.schedule_at(ready, [this, core, line, kind, mc_tile] {
+      net_.send(mc_tile, core, MsgClass::Data, [this, core, line, kind] {
+        // Bypassed lines are exclusive by runtime discipline (the paper's
+        // eager end-of-task flushes), so install in M; dirty only if written.
+        l1_fill(core, line,
+                L1Meta{L1Meta::State::M, kind == AccessKind::Write,
+                       kInvalidBank});
+      });
+    });
+  });
+}
+
+void CoherentSystem::memory_writeback(CoreId from_tile, Addr line) {
+  const unsigned mc = mcs_.index_for(line);
+  net_.send(from_tile, mcs_.tile_of(mc), MsgClass::Data,
+            [this, mc] { mcs_.mc(mc).request(eq_.now(), AccessKind::Write); });
+}
+
+// --------------------------------------------------------------------------
+// Flush engine (CacheOps)
+// --------------------------------------------------------------------------
+
+void CoherentSystem::flush_l1_range(CoreMask cores, const AddrRange& prange,
+                                    std::function<void()> done) {
+  auto join = sim::make_joiner(std::move(done));
+  const std::uint64_t range_lines =
+      prange.size() / cfg_.l1.line_size + (prange.size() % cfg_.l1.line_size ? 1 : 0);
+  const Cycle scan_cycles =
+      (range_lines + cfg_.flush_lines_per_cycle - 1) / cfg_.flush_lines_per_cycle;
+  cores.for_each([&](CoreId c) {
+    if (c >= num_cores_) return;
+    join->add();
+    L1& l1 = l1s_[c];
+    l1.flush_busy += scan_cycles;
+    // The engine walks the range at flush_lines_per_cycle: writebacks are
+    // paced accordingly rather than burst into the NoC in one cycle (a
+    // burst would poison the link queues for every concurrent miss).
+    std::uint64_t wb_index = 0;
+    l1.array.for_each_in_range(prange, [&](Addr la, L1Meta& m) {
+      stats_.flush_l1_lines.inc();
+      if (m.dirty) {
+        stats_.flush_writebacks.inc();
+        join->add();
+        const Cycle at = ++wb_index / cfg_.flush_lines_per_cycle;
+        const BankId home = m.home;
+        if (home == kInvalidBank) {
+          const unsigned mc = mcs_.index_for(la);
+          eq_.schedule_in(at, [this, c, mc, join] {
+            net_.send(c, mcs_.tile_of(mc), MsgClass::Data, [this, mc, join] {
+              mcs_.mc(mc).request(eq_.now(), AccessKind::Write);
+              join->complete();
+            });
+          });
+        } else {
+          eq_.schedule_in(at, [this, c, home, la, join] {
+            net_.send(c, home, MsgClass::Data, [this, home, c, la, join] {
+              bank_writeback(home, c, la);
+              join->complete();
+            });
+          });
+        }
+      }
+      return true;  // invalidate
+    });
+    // The engine's scan occupies the core until scan_cycles have elapsed.
+    eq_.schedule_in(scan_cycles, [join] { join->complete(); });
+  });
+  join->arm();
+}
+
+void CoherentSystem::flush_llc_range(BankMask banks, const AddrRange& prange,
+                                     std::function<void()> done) {
+  auto join = sim::make_joiner(std::move(done));
+  const std::uint64_t range_lines =
+      prange.size() / cfg_.l1.line_size + (prange.size() % cfg_.l1.line_size ? 1 : 0);
+  const Cycle scan_cycles =
+      (range_lines + cfg_.flush_lines_per_cycle - 1) / cfg_.flush_lines_per_cycle;
+  banks.for_each([&](CoreId bank) {
+    if (bank >= num_cores_) return;
+    join->add();
+    Bank& b = banks_[bank];
+    std::uint64_t wb_index = 0;
+    b.array.for_each_in_range(prange, [&](Addr la, LlcMeta& m) {
+      if (b.blocked.count(la) != 0) {
+        // A transaction is in flight on this line: defer this line's flush
+        // until it completes, then finish it out-of-band.
+        join->add();
+        b.blocked[la].push_back([this, bank, la, join] {
+          if (auto* ln = banks_[bank].array.find(la)) {
+            flush_llc_line_now(bank, la, ln->meta, join, 0);
+            banks_[bank].array.invalidate(la);
+          }
+          bank_unblock(bank, la);
+          join->complete();
+        });
+        return false;  // keep for now
+      }
+      // Pace the flush traffic at the engine's scan rate (see
+      // flush_l1_range).
+      flush_llc_line_now(bank, la, m, join,
+                         ++wb_index / cfg_.flush_lines_per_cycle);
+      return true;  // invalidate
+    });
+    eq_.schedule_in(scan_cycles, [join] { join->complete(); });
+  });
+  join->arm();
+}
+
+void CoherentSystem::flush_llc_line_now(BankId bank, Addr la, const LlcMeta& m,
+                                        const sim::JoinerPtr& join,
+                                        Cycle delay) {
+  stats_.flush_llc_lines.inc();
+  CoreMask copies = m.sharers;
+  if (m.owner != kInvalidCore) copies.set(m.owner);
+  copies.for_each([&](CoreId t) {
+    stats_.back_invalidations.inc();
+    join->add();
+    eq_.schedule_in(delay, [this, bank, t, la, join] {
+      net_.send(bank, t, MsgClass::Control, [this, t, la, join] {
+        l1_invalidate(t, la, /*writeback_to_memory=*/true);
+        join->complete();
+      });
+    });
+  });
+  if (m.dirty) {
+    stats_.flush_writebacks.inc();
+    join->add();
+    const unsigned mc = mcs_.index_for(la);
+    eq_.schedule_in(delay, [this, bank, mc, join] {
+      net_.send(bank, mcs_.tile_of(mc), MsgClass::Data, [this, mc, join] {
+        mcs_.mc(mc).request(eq_.now(), AccessKind::Write);
+        join->complete();
+      });
+    });
+  }
+}
+
+}  // namespace tdn::coherence

@@ -1,0 +1,179 @@
+// CoherentSystem — the full cache hierarchy of one tiled CMP:
+// per-tile private L1s, a banked shared NUCA LLC with a colocated directory,
+// and the coherence protocol connecting them over the NoC.
+//
+// Protocol: directory-based MESI in the paper's "blocking states, silent
+// evictions" style —
+//   * L1 lines are S (clean shared) or M (exclusive dirty). Reads install S,
+//     writes obtain M via GetX / upgrade. Clean evictions are silent, so the
+//     directory may hold stale sharer bits; invalidations to non-holders are
+//     acknowledged without data (standard for silent-eviction MESI).
+//   * One transaction in flight per block per bank (blocking directory);
+//     later requests queue behind it.
+//   * The LLC is inclusive: the directory entry lives with the LLC line, and
+//     LLC evictions back-invalidate L1 copies.
+//   * TD-NUCA bypass transactions go straight to the memory controller and
+//     install in the L1 without touching LLC or directory (paper
+//     Sec. III-B3); the runtime's eager flushes guarantee exclusivity.
+//
+// The NUCA mapping policy is consulted on every L1 miss and writeback to pick
+// the destination bank (or bypass), exactly where the paper places the RRT
+// lookup.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "cache/mshr.hpp"
+#include "coherence/config.hpp"
+#include "common/tile_mask.hpp"
+#include "common/types.hpp"
+#include "mem/dram.hpp"
+#include "noc/network.hpp"
+#include "nuca/mapping.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/joiner.hpp"
+#include "stats/counters.hpp"
+
+namespace tdn::coherence {
+
+/// Per-line private cache state.
+struct L1Meta {
+  enum class State : std::uint8_t { S, M };
+  State state = State::S;
+  bool dirty = false;
+  /// Bank the line was served from; kInvalidBank marks an LLC-bypassed line
+  /// whose home is memory.
+  BankId home = kInvalidBank;
+};
+
+/// Per-line LLC state with the colocated directory entry.
+struct LlcMeta {
+  bool dirty = false;
+  CoreId owner = kInvalidCore;  ///< L1 holding the line in M, if any
+  CoreMask sharers;             ///< L1s that fetched the line (may be stale)
+};
+
+class CoherentSystem final : public nuca::CacheOps {
+ public:
+  CoherentSystem(sim::EventQueue& eq, noc::Network& net, const noc::Mesh& mesh,
+                 mem::MemControllers& mcs, nuca::MappingPolicy& policy,
+                 HierarchyConfig cfg, unsigned num_cores);
+
+  // --- core-facing demand path ---------------------------------------
+  /// Perform one memory reference. @p done receives the cycle at which the
+  /// reference completes; for L1 hits it is invoked synchronously.
+  void access(CoreId core, Addr vaddr, Addr paddr, AccessKind kind,
+              std::function<void(Cycle done_at)> done);
+
+  // --- CacheOps (flushes driven by policies / the runtime) ------------
+  void flush_l1_range(CoreMask cores, const AddrRange& prange,
+                      std::function<void()> done) override;
+  void flush_llc_range(BankMask banks, const AddrRange& prange,
+                       std::function<void()> done) override;
+  Cycle now() const override { return eq_.now(); }
+
+  // --- statistics ------------------------------------------------------
+  struct Stats {
+    stats::Counter l1_hits;
+    stats::Counter l1_misses;
+    stats::Counter llc_requests;   ///< GetS+GetX+upgrades arriving at banks
+    stats::Counter llc_hits;
+    stats::Counter llc_misses;
+    stats::Counter llc_writebacks;  ///< PutM arriving at banks
+    stats::Counter llc_evictions;
+    stats::Counter bypass_reads;
+    stats::Counter bypass_writebacks;
+    stats::Counter invalidations_sent;
+    stats::Counter back_invalidations;
+    stats::Counter flush_l1_lines;
+    stats::Counter flush_llc_lines;
+    stats::Counter flush_writebacks;
+    stats::Counter mshr_stalls;
+    stats::Sampled nuca_distance;     ///< hops, demand requests only
+    stats::Sampled miss_latency;      ///< cycles from L1 miss to fill
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  /// Total accesses arriving at the LLC banks (requests + writebacks) —
+  /// the Fig. 9 metric.
+  std::uint64_t llc_accesses() const noexcept {
+    return stats_.llc_requests.value() + stats_.llc_writebacks.value();
+  }
+  double llc_hit_ratio() const noexcept {
+    const double h = static_cast<double>(stats_.llc_hits.value());
+    const double m = static_cast<double>(stats_.llc_misses.value());
+    return (h + m) > 0 ? h / (h + m) : 0.0;
+  }
+  /// Cycles each core's flush engine spent scanning (Sec. V-E overhead).
+  Cycle flush_busy_cycles(CoreId core) const { return l1s_.at(core).flush_busy; }
+  std::uint64_t llc_resident_lines() const;
+
+  unsigned num_cores() const noexcept { return num_cores_; }
+  const HierarchyConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct L1 {
+    explicit L1(const HierarchyConfig& cfg)
+        : array(cfg.l1), mshr(cfg.l1_mshrs) {}
+    cache::CacheArray<L1Meta> array;
+    cache::MshrFile mshr;
+    Cycle flush_busy = 0;
+  };
+  struct Bank {
+    explicit Bank(const HierarchyConfig& cfg) : array(cfg.llc_bank) {}
+    cache::CacheArray<LlcMeta> array;
+    Cycle next_free = 0;
+    /// Blocking directory: blocked[line] holds actions to replay once the
+    /// in-flight transaction on that line completes.
+    std::unordered_map<Addr, std::deque<std::function<void()>>> blocked;
+  };
+
+  Addr line_of(Addr a) const { return align_down(a, cfg_.l1.line_size); }
+
+  void access_internal(CoreId core, Addr vaddr, Addr paddr, AccessKind kind,
+                       std::function<void(Cycle)> done, bool replay);
+  void start_miss(CoreId core, Addr vaddr, Addr line, AccessKind kind,
+                  Cycle issued_at, std::function<void(Cycle)> done);
+  void launch_transaction(CoreId core, Addr vaddr, Addr line, AccessKind kind,
+                          Cycle issued_at);
+  void bank_request(BankId bank, CoreId requester, Addr line, AccessKind kind);
+  void bank_respond_read(BankId bank, CoreId requester, Addr line);
+  void bank_respond_write(BankId bank, CoreId requester, Addr line);
+  void bank_fetch_from_memory(BankId bank, CoreId requester, Addr line,
+                              AccessKind kind);
+  void bank_install(BankId bank, Addr line);
+  void bank_unblock(BankId bank, Addr line);
+  void bank_writeback(BankId bank, CoreId from, Addr line);
+
+  /// Install a fill in the requester's L1 and replay merged misses.
+  void l1_fill(CoreId core, Addr line, L1Meta meta);
+  /// Evict an L1 victim (writeback if dirty).
+  void l1_evict_victim(CoreId core, Addr line, const L1Meta& meta);
+  /// Handle an invalidation arriving at an L1 (from GetX or back-inval).
+  /// Returns true if a dirty copy was written back.
+  bool l1_invalidate(CoreId core, Addr line, bool writeback_to_memory);
+
+  void bypass_fetch(CoreId core, Addr line, AccessKind kind, Cycle issued_at);
+  void memory_writeback(CoreId from_tile, Addr line);
+  void flush_llc_line_now(BankId bank, Addr la, const LlcMeta& m,
+                          const std::shared_ptr<sim::Joiner>& join,
+                          Cycle delay);
+
+  sim::EventQueue& eq_;
+  noc::Network& net_;
+  const noc::Mesh& mesh_;
+  mem::MemControllers& mcs_;
+  nuca::MappingPolicy& policy_;
+  HierarchyConfig cfg_;
+  unsigned num_cores_;
+
+  std::vector<L1> l1s_;
+  std::vector<Bank> banks_;
+  Stats stats_;
+};
+
+}  // namespace tdn::coherence

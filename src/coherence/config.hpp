@@ -1,0 +1,27 @@
+// Cache hierarchy configuration (paper Table I, with scaled default
+// capacities; see DESIGN.md Sec. 6 for the scaling rules).
+#pragma once
+
+#include "cache/cache_array.hpp"
+#include "common/types.hpp"
+
+namespace tdn::coherence {
+
+struct HierarchyConfig {
+  cache::CacheGeometry l1{32 * kKiB, 8, 64};
+  Cycle l1_latency = 2;
+
+  cache::CacheGeometry llc_bank{256 * kKiB, 16, 64};
+  Cycle llc_latency = 15;
+  /// Minimum cycles between request starts at one bank (bank occupancy).
+  Cycle bank_service_interval = 2;
+
+  unsigned l1_mshrs = 16;
+  /// Lines the flush engine can scan per cycle when processing a
+  /// tdnuca_flush / page-reclassification flush.
+  unsigned flush_lines_per_cycle = 1;
+  /// Retry backoff when the MSHR file is full.
+  Cycle mshr_retry_delay = 8;
+};
+
+}  // namespace tdn::coherence

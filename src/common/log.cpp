@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tdn::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+void init_from_env() {
+  const char* v = std::getenv("TDN_LOG");
+  if (v == nullptr) return;
+  if (std::strcmp(v, "trace") == 0) set_level(Level::Trace);
+  else if (std::strcmp(v, "debug") == 0) set_level(Level::Debug);
+  else if (std::strcmp(v, "info") == 0) set_level(Level::Info);
+  else if (std::strcmp(v, "warn") == 0) set_level(Level::Warn);
+  else if (std::strcmp(v, "error") == 0) set_level(Level::Error);
+  else if (std::strcmp(v, "off") == 0) set_level(Level::Off);
+}
+
+void write(Level lvl, const std::string& msg) {
+  std::fprintf(stderr, "[tdn %-5s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace tdn::log

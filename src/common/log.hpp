@@ -1,0 +1,34 @@
+// Minimal leveled logging. The simulator is a library, so logging defaults to
+// Warn and is controlled programmatically (or via TDN_LOG env var in tools).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tdn::log {
+
+enum class Level { Trace, Debug, Info, Warn, Error, Off };
+
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+/// Read TDN_LOG=trace|debug|info|warn|error|off, if present.
+void init_from_env();
+
+void write(Level lvl, const std::string& msg);
+
+}  // namespace tdn::log
+
+#define TDN_LOG(lvl, stream_expr)                              \
+  do {                                                         \
+    if (static_cast<int>(lvl) >=                               \
+        static_cast<int>(::tdn::log::level())) {               \
+      std::ostringstream tdn_log_os;                           \
+      tdn_log_os << stream_expr;                               \
+      ::tdn::log::write((lvl), tdn_log_os.str());              \
+    }                                                          \
+  } while (false)
+
+#define TDN_LOG_DEBUG(s) TDN_LOG(::tdn::log::Level::Debug, s)
+#define TDN_LOG_INFO(s) TDN_LOG(::tdn::log::Level::Info, s)
+#define TDN_LOG_WARN(s) TDN_LOG(::tdn::log::Level::Warn, s)
+#define TDN_LOG_ERROR(s) TDN_LOG(::tdn::log::Level::Error, s)

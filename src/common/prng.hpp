@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for workload access-pattern
+// synthesis. SplitMix64 is tiny, fast, and has well-studied statistical
+// quality; every simulated run is seeded explicitly so results are
+// bit-reproducible (DESIGN.md decision 6).
+#pragma once
+
+#include <cstdint>
+
+namespace tdn {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Bound must be nonzero.
+  constexpr std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit FNV-1a hash, used for config fingerprints in the results
+/// cache and for deriving per-entity PRNG seeds.
+constexpr std::uint64_t fnv1a64(const char* data, std::size_t n,
+                                std::uint64_t seed = 0xcbf29ce484222325ull) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace tdn

@@ -1,0 +1,35 @@
+// Error handling policy (C++ Core Guidelines E.*):
+//   * TDN_REQUIRE  — precondition / configuration validation; throws
+//     tdn::RequireError so callers and tests can observe the failure.
+//   * TDN_ASSERT   — internal invariants; aborts in debug, compiled out in
+//     release unless TDN_CHECKED is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tdn {
+
+class RequireError : public std::runtime_error {
+ public:
+  explicit RequireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void require_failed(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+
+}  // namespace tdn
+
+#define TDN_REQUIRE(expr, msg)                                 \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::tdn::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                          \
+  } while (false)
+
+#if !defined(NDEBUG) || defined(TDN_CHECKED)
+#include <cassert>
+#define TDN_ASSERT(expr) assert(expr)
+#else
+#define TDN_ASSERT(expr) ((void)0)
+#endif

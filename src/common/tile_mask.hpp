@@ -1,0 +1,79 @@
+// TileMask — the BankMask / CoreMask bit vectors of the TD-NUCA ISA
+// (paper Sec. III-A). One bit per tile; in the evaluated 16-tile system the
+// masks are 16 bits wide, but the type supports up to 64 tiles.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tdn {
+
+class TileMask {
+ public:
+  constexpr TileMask() = default;
+  constexpr explicit TileMask(std::uint64_t bits) : bits_(bits) {}
+
+  static constexpr TileMask none() { return TileMask{}; }
+  static constexpr TileMask single(CoreId tile) { return TileMask{1ull << tile}; }
+  static constexpr TileMask first_n(unsigned n) {
+    return TileMask{n >= 64 ? ~0ull : ((1ull << n) - 1)};
+  }
+
+  constexpr bool test(CoreId tile) const { return (bits_ >> tile) & 1u; }
+  constexpr void set(CoreId tile) { bits_ |= (1ull << tile); }
+  constexpr void clear(CoreId tile) { bits_ &= ~(1ull << tile); }
+
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int count() const { return __builtin_popcountll(bits_); }
+  constexpr std::uint64_t bits() const { return bits_; }
+
+  /// Index of the only set bit. Precondition: count() == 1.
+  constexpr CoreId sole_bit() const {
+    assert(count() == 1);
+    return static_cast<CoreId>(__builtin_ctzll(bits_));
+  }
+
+  /// Index of the n-th set bit (n counted from 0, from the LSB).
+  constexpr CoreId nth_bit(int n) const {
+    std::uint64_t b = bits_;
+    for (int i = 0; i < n; ++i) b &= b - 1;  // clear lowest set bit n times
+    assert(b != 0);
+    return static_cast<CoreId>(__builtin_ctzll(b));
+  }
+
+  /// Invoke @p fn for every set bit, in ascending tile order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t b = bits_;
+    while (b != 0) {
+      fn(static_cast<CoreId>(__builtin_ctzll(b)));
+      b &= b - 1;
+    }
+  }
+
+  constexpr TileMask operator|(TileMask o) const { return TileMask{bits_ | o.bits_}; }
+  constexpr TileMask operator&(TileMask o) const { return TileMask{bits_ & o.bits_}; }
+  constexpr TileMask& operator|=(TileMask o) {
+    bits_ |= o.bits_;
+    return *this;
+  }
+  friend constexpr bool operator==(TileMask, TileMask) = default;
+
+  std::string to_string(unsigned width = 16) const {
+    std::string s;
+    s.reserve(width);
+    for (unsigned i = width; i-- > 0;) s.push_back(test(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+using BankMask = TileMask;
+using CoreMask = TileMask;
+
+}  // namespace tdn

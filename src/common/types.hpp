@@ -1,0 +1,77 @@
+// Fundamental value types shared by every module of the TD-NUCA simulator.
+//
+// The simulator distinguishes three address spaces:
+//   * virtual addresses (what workloads and the runtime system see),
+//   * physical addresses (what caches, directories and DRAM see),
+//   * block/line addresses (physical addresses with the offset bits dropped).
+// All are carried in 64-bit integers; helper functions below convert between
+// them for a given line/page size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace tdn {
+
+using Addr = std::uint64_t;   ///< Virtual or physical byte address.
+using Cycle = std::uint64_t;  ///< Simulated time in core clock cycles.
+
+using CoreId = std::uint32_t;  ///< Tile/core index, 0 .. numCores-1.
+using BankId = std::uint32_t;  ///< LLC bank index; one bank per tile.
+using TaskId = std::uint64_t;  ///< Runtime task identifier (creation order).
+using DepId = std::uint64_t;   ///< Runtime dependency-region identifier.
+
+inline constexpr CoreId kInvalidCore = std::numeric_limits<CoreId>::max();
+inline constexpr BankId kInvalidBank = std::numeric_limits<BankId>::max();
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// How a task declares it will use a dependency region (OpenMP 4.0
+/// depend(in/out/inout) clauses).
+enum class DepUse : std::uint8_t { In, Out, InOut };
+
+/// Memory reference kind as seen by the cache hierarchy.
+enum class AccessKind : std::uint8_t { Read, Write };
+
+constexpr bool is_write(AccessKind k) noexcept { return k == AccessKind::Write; }
+
+/// A half-open byte range [begin, end) in one address space.
+struct AddrRange {
+  Addr begin = 0;
+  Addr end = 0;
+
+  constexpr Addr size() const noexcept { return end - begin; }
+  constexpr bool empty() const noexcept { return end <= begin; }
+  constexpr bool contains(Addr a) const noexcept { return a >= begin && a < end; }
+  constexpr bool overlaps(const AddrRange& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  constexpr bool contains_range(const AddrRange& o) const noexcept {
+    return o.begin >= begin && o.end <= end;
+  }
+  friend constexpr bool operator==(const AddrRange&, const AddrRange&) = default;
+};
+
+/// Round @p a down to a multiple of @p align (power of two).
+constexpr Addr align_down(Addr a, Addr align) noexcept { return a & ~(align - 1); }
+/// Round @p a up to a multiple of @p align (power of two).
+constexpr Addr align_up(Addr a, Addr align) noexcept {
+  return (a + align - 1) & ~(align - 1);
+}
+constexpr bool is_pow2(std::uint64_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+inline constexpr Addr kKiB = 1024;
+inline constexpr Addr kMiB = 1024 * kKiB;
+inline constexpr Addr kGiB = 1024 * kMiB;
+
+}  // namespace tdn

@@ -1,0 +1,92 @@
+#include "core/access_stream.hpp"
+
+#include "common/require.hpp"
+
+namespace tdn::core {
+
+namespace {
+std::uint64_t contained_lines(const AddrRange& r, unsigned line_size) {
+  const Addr first = align_up(r.begin, line_size);
+  if (first + line_size > r.end) return 0;
+  return (align_down(r.end, line_size) - first) / line_size;
+}
+}  // namespace
+
+std::uint64_t TaskProgram::total_touches(unsigned line_size) const {
+  std::uint64_t total = 0;
+  for (const auto& group : groups) {
+    for (const auto& p : group) {
+      if (p.order == AccessPhase::Order::RandomSample) {
+        total += p.touches * p.passes;
+      } else {
+        const std::uint64_t lines = contained_lines(p.range, line_size);
+        const std::uint64_t per_pass =
+            (lines + p.stride_lines - 1) / (p.stride_lines ? p.stride_lines : 1);
+        total += per_pass * p.passes;
+      }
+    }
+  }
+  return total;
+}
+
+AccessStream::PhaseCursor::PhaseCursor(const AccessPhase& p, unsigned line_size)
+    : phase(&p),
+      first_line(align_up(p.range.begin, line_size)),
+      num_lines(contained_lines(p.range, line_size)),
+      rng(p.seed) {
+  if (num_lines == 0 || p.passes == 0) done = true;
+  if (p.order == AccessPhase::Order::RandomSample && p.touches == 0) done = true;
+}
+
+bool AccessStream::PhaseCursor::produce(AccessOp& op, unsigned line_size) {
+  if (done) return false;
+  const AccessPhase& p = *phase;
+  op.kind = p.kind;
+  op.compute = p.compute_per_touch;
+  op.mlp = p.mlp;
+  if (p.order == AccessPhase::Order::RandomSample) {
+    op.vaddr = first_line + rng.next_below(num_lines) * line_size;
+    if (++index >= p.touches) {
+      index = 0;
+      if (++pass >= p.passes) done = true;
+    }
+    return true;
+  }
+  const std::uint64_t stride = p.stride_lines ? p.stride_lines : 1;
+  op.vaddr = first_line + index * line_size;
+  index += stride;
+  if (index >= num_lines) {
+    index = 0;
+    if (++pass >= p.passes) done = true;
+  }
+  return true;
+}
+
+AccessStream::AccessStream(const TaskProgram& prog, unsigned line_size)
+    : prog_(prog), line_size_(line_size) {
+  TDN_REQUIRE(is_pow2(line_size_), "line size must be a power of two");
+  load_group();
+}
+
+void AccessStream::load_group() {
+  cursors_.clear();
+  rr_ = 0;
+  if (group_ >= prog_.groups.size()) return;
+  for (const auto& p : prog_.groups[group_]) cursors_.emplace_back(p, line_size_);
+}
+
+bool AccessStream::next(AccessOp& op) {
+  while (group_ < prog_.groups.size()) {
+    // Round-robin over the live cursors of the current group.
+    for (std::size_t tried = 0; tried < cursors_.size(); ++tried) {
+      PhaseCursor& c = cursors_[rr_];
+      rr_ = (rr_ + 1) % cursors_.size();
+      if (c.produce(op, line_size_)) return true;
+    }
+    ++group_;
+    load_group();
+  }
+  return false;
+}
+
+}  // namespace tdn::core

@@ -1,0 +1,94 @@
+// Task access programs.
+//
+// The simulator is trace-driven at cache-line granularity: a task's memory
+// behaviour is described as a program of access phases over its dependency
+// regions (stream a region, stride over it, sample it randomly), and the
+// timing core executes that program against the cache hierarchy. Line
+// granularity is the standard trace reduction — the L1 filters intra-line
+// locality anyway — and keeps full-benchmark runs in the millisecond range
+// (DESIGN.md Sec. 2, core substitution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace tdn::core {
+
+/// One homogeneous sweep over a region.
+struct AccessPhase {
+  AddrRange range;  ///< virtual address range (typically a dependency)
+  AccessKind kind = AccessKind::Read;
+  enum class Order : std::uint8_t {
+    Sequential,    ///< lines in ascending order, `stride_lines` apart
+    RandomSample,  ///< `touches` uniform random lines from the range
+  };
+  Order order = Order::Sequential;
+  unsigned passes = 1;         ///< how many times the sweep repeats
+  unsigned stride_lines = 1;   ///< Sequential: step in lines
+  std::uint64_t touches = 0;   ///< RandomSample: number of line touches
+  Cycle compute_per_touch = 4; ///< arithmetic cycles charged before the access
+  std::uint64_t seed = 1;      ///< RandomSample PRNG seed
+  /// Memory-level parallelism of this phase: how many of its loads may be
+  /// outstanding at once (0 = the core's default window). Pure streams
+  /// prefetch well (high MLP, miss latency overlapped); compute-coupled
+  /// re-reads have dependent addresses (low MLP) and expose the cache's
+  /// access latency — which is where NUCA distance matters.
+  unsigned mlp = 0;
+};
+
+/// Phases in one group execute interleaved round-robin (one touch each in
+/// turn) — this models kernels that read inputs and write outputs in the
+/// same loop iteration. Groups execute in order.
+struct TaskProgram {
+  std::vector<std::vector<AccessPhase>> groups;
+
+  void add_phase(AccessPhase p) { groups.push_back({std::move(p)}); }
+  void add_group(std::vector<AccessPhase> g) { groups.push_back(std::move(g)); }
+  bool empty() const noexcept { return groups.empty(); }
+
+  /// Total line touches the program will generate (for workload tables).
+  std::uint64_t total_touches(unsigned line_size = 64) const;
+};
+
+struct AccessOp {
+  Addr vaddr = 0;
+  AccessKind kind = AccessKind::Read;
+  Cycle compute = 0;
+  unsigned mlp = 0;  ///< per-phase load window override (0 = core default)
+};
+
+/// Pull-based iterator over a TaskProgram's accesses.
+class AccessStream {
+ public:
+  explicit AccessStream(const TaskProgram& prog, unsigned line_size = 64);
+
+  /// Produce the next access; returns false at end of program.
+  bool next(AccessOp& op);
+
+ private:
+  struct PhaseCursor {
+    const AccessPhase* phase;
+    Addr first_line;           // line-aligned start
+    std::uint64_t num_lines;   // fully contained lines
+    unsigned pass = 0;
+    std::uint64_t index = 0;   // line index within pass (or touch count)
+    SplitMix64 rng;
+    bool done = false;
+
+    explicit PhaseCursor(const AccessPhase& p, unsigned line_size);
+    bool produce(AccessOp& op, unsigned line_size);
+  };
+
+  const TaskProgram& prog_;
+  unsigned line_size_;
+  std::size_t group_ = 0;
+  std::vector<PhaseCursor> cursors_;  // cursors of the current group
+  std::size_t rr_ = 0;                // round-robin position
+
+  void load_group();
+};
+
+}  // namespace tdn::core

@@ -1,0 +1,34 @@
+#include "energy/energy_model.hpp"
+
+#include "coherence/coherent_system.hpp"
+#include "mem/dram.hpp"
+#include "noc/network.hpp"
+
+namespace tdn::energy {
+
+EnergyBreakdown compute_energy(const coherence::CoherentSystem& caches,
+                               const noc::Network& net,
+                               const mem::MemControllers& mcs,
+                               std::uint64_t rrt_lookups,
+                               const EnergyParams& p) {
+  EnergyBreakdown e;
+  const auto& s = caches.stats();
+  // Every event that reads or writes a bank's data/tag arrays:
+  // demand lookups, fills after misses, writebacks, and flush-engine scans.
+  const double llc_events =
+      static_cast<double>(s.llc_requests.value()) +
+      static_cast<double>(s.llc_misses.value()) +     // fill write
+      static_cast<double>(s.llc_writebacks.value()) +
+      static_cast<double>(s.flush_llc_lines.value());
+  e.llc_pj = llc_events * p.llc_access_pj;
+  const double l1_events = static_cast<double>(s.l1_hits.value()) +
+                           static_cast<double>(s.l1_misses.value()) +
+                           static_cast<double>(s.flush_l1_lines.value());
+  e.l1_pj = l1_events * p.l1_access_pj;
+  e.noc_pj = static_cast<double>(net.total_router_bytes()) * p.noc_byte_hop_pj;
+  e.dram_pj = static_cast<double>(mcs.total_accesses()) * p.dram_access_pj;
+  e.rrt_pj = static_cast<double>(rrt_lookups) * p.rrt_sram_pj * p.rrt_tcam_factor;
+  return e;
+}
+
+}  // namespace tdn::energy

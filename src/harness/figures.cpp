@@ -1,0 +1,51 @@
+#include "harness/figures.hpp"
+
+#include <cstdio>
+
+#include "workloads/workload.hpp"
+
+namespace tdn::harness {
+
+std::pair<stats::Table, double> normalized_table(
+    const NormalizedFigure& fig, const std::vector<RunResult>& results) {
+  std::vector<std::string> header{"bench"};
+  for (const auto p : fig.policies) header.push_back(system::to_string(p));
+  if (fig.paper_ref) header.push_back("paper");
+  stats::Table table(std::move(header));
+
+  std::vector<double> last_col;
+  for (const std::string& wl : workloads::paper_workload_names()) {
+    const double base =
+        find_result(results, wl, system::PolicyKind::SNuca).get(fig.metric);
+    std::vector<std::string> row{wl};
+    double last = 0.0;
+    for (const auto p : fig.policies) {
+      const double v = find_result(results, wl, p).get(fig.metric);
+      const double norm = fig.invert ? base / v : v / base;
+      row.push_back(stats::Table::num(norm, 3));
+      last = norm;
+    }
+    if (fig.paper_ref) {
+      const auto ref = fig.paper_ref(wl);
+      row.push_back(ref ? stats::Table::num(*ref, 3) : "-");
+    }
+    table.add_row(std::move(row));
+    // Fully-bypassed benchmarks can drive a normalized metric to exactly
+    // zero (no LLC accesses at all); floor it so the geometric mean stays
+    // defined — the floor only understates TD-NUCA's advantage.
+    last_col.push_back(last > 1e-3 ? last : 1e-3);
+  }
+  const double gm = geometric_mean(last_col);
+  std::vector<std::string> avg_row{"geomean"};
+  for (std::size_t i = 0; i < fig.policies.size(); ++i) avg_row.push_back("");
+  avg_row.back() = stats::Table::num(gm, 3);
+  if (fig.paper_ref) avg_row.push_back(stats::Table::num(fig.paper_avg, 3));
+  table.add_row(std::move(avg_row));
+  return {std::move(table), gm};
+}
+
+void print_figure_header(const std::string& id, const std::string& caption) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), caption.c_str());
+}
+
+}  // namespace tdn::harness

@@ -1,0 +1,40 @@
+// Figure/table formatting helpers shared by the bench binaries: per-benchmark
+// normalized comparisons against the S-NUCA baseline, with the paper's
+// reference values in adjacent columns.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "stats/table.hpp"
+
+namespace tdn::harness {
+
+/// Extract metric(policy)/metric(S-NUCA) per benchmark for each policy and
+/// format it with the paper's reference column.
+/// @p metric      key into RunResult::metrics
+/// @p invert      true when the figure reports S-NUCA/policy (speedup) rather
+///                than policy/S-NUCA
+struct NormalizedFigure {
+  std::string title;
+  std::string metric;
+  bool invert = false;  // speedup-style normalization (baseline / policy)
+  std::vector<system::PolicyKind> policies;
+  /// Paper per-benchmark reference for the last policy column (optional).
+  std::function<std::optional<double>(const std::string&)> paper_ref;
+  double paper_avg = 0.0;
+};
+
+/// Build the normalized table and return (table, measured geomean of the
+/// last policy column).
+std::pair<stats::Table, double> normalized_table(
+    const NormalizedFigure& fig, const std::vector<RunResult>& results);
+
+/// Convenience: print a figure header in the uniform bench style.
+void print_figure_header(const std::string& id, const std::string& caption);
+
+}  // namespace tdn::harness

@@ -1,0 +1,53 @@
+#include "harness/paper_ref.hpp"
+
+#include <map>
+
+namespace tdn::harness::paper {
+
+namespace {
+const std::map<std::string, double> kFig8Td = {
+    // Sec. V-A text: Gauss 1.26x, LU 1.59x, Redblack 1.20x; Histo, Jacobi,
+    // Kmeans 1.09-1.10x; KNN, MD5 1.04x.
+    {"gauss", 1.26}, {"histo", 1.09}, {"jacobi", 1.09}, {"kmeans", 1.10},
+    {"knn", 1.04},   {"lu", 1.59},    {"md5", 1.04},    {"redblack", 1.20},
+};
+const std::map<std::string, double> kFig8R = {
+    // Sec. V-A: 1.11x for Gauss, below 1.05x elsewhere (estimate 1.03).
+    {"gauss", 1.11}, {"histo", 1.03}, {"jacobi", 1.03}, {"kmeans", 1.03},
+    {"knn", 1.03},   {"lu", 1.03},    {"md5", 1.03},    {"redblack", 1.03},
+};
+const std::map<std::string, double> kFig9Td = {
+    // Sec. V-A text: from 0.99x (KNN) down to 0.14x (MD5); others read off
+    // the figure (estimates).
+    {"gauss", 0.60}, {"histo", 0.75}, {"jacobi", 0.25}, {"kmeans", 0.30},
+    {"knn", 0.99},   {"lu", 0.90},    {"md5", 0.14},    {"redblack", 0.25},
+};
+const std::map<std::string, double> kFig15 = {
+    // Sec. V-D: no benefit in Histo/KNN/LU; matches full TD-NUCA in Jacobi,
+    // Kmeans, MD5, Redblack; partial in Gauss (estimate 1.10).
+    {"gauss", 1.10}, {"histo", 1.00}, {"jacobi", 1.09}, {"kmeans", 1.10},
+    {"knn", 1.00},   {"lu", 1.00},    {"md5", 1.04},    {"redblack", 1.20},
+};
+
+std::optional<double> find(const std::map<std::string, double>& m,
+                           const std::string& k) {
+  auto it = m.find(k);
+  if (it == m.end()) return std::nullopt;
+  return it->second;
+}
+}  // namespace
+
+std::optional<double> fig8_speedup_td(const std::string& b) {
+  return find(kFig8Td, b);
+}
+std::optional<double> fig8_speedup_rnuca(const std::string& b) {
+  return find(kFig8R, b);
+}
+std::optional<double> fig9_llc_accesses_td(const std::string& b) {
+  return find(kFig9Td, b);
+}
+std::optional<double> fig15_speedup_bypass_only(const std::string& b) {
+  return find(kFig15, b);
+}
+
+}  // namespace tdn::harness::paper

@@ -1,0 +1,57 @@
+#include "harness/results_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace tdn::harness {
+
+std::string ResultsCache::directory() {
+  if (const char* d = std::getenv("TDN_CACHE_DIR")) return d;
+  return "/tmp/tdnuca_cache";
+}
+
+bool ResultsCache::enabled() {
+  const char* v = std::getenv("TDN_NO_CACHE");
+  return v == nullptr || v[0] == '0';
+}
+
+std::optional<std::map<std::string, double>> ResultsCache::load(
+    const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  const std::filesystem::path p =
+      std::filesystem::path(directory()) / (key + ".csv");
+  std::ifstream in(p);
+  if (!in) return std::nullopt;
+  std::map<std::string, double> m;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto comma = line.rfind(',');
+    if (comma == std::string::npos) continue;
+    try {
+      m[line.substr(0, comma)] = std::stod(line.substr(comma + 1));
+    } catch (...) {
+      return std::nullopt;  // corrupt entry: recompute
+    }
+  }
+  if (m.empty()) return std::nullopt;
+  return m;
+}
+
+void ResultsCache::store(const std::string& key,
+                         const std::map<std::string, double>& metrics) {
+  if (!enabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(directory(), ec);
+  if (ec) return;  // cache is best-effort
+  const std::filesystem::path p =
+      std::filesystem::path(directory()) / (key + ".csv");
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [k, v] : metrics) os << k << "," << v << "\n";
+  std::ofstream out(p);
+  out << os.str();
+}
+
+}  // namespace tdn::harness

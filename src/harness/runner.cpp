@@ -1,0 +1,183 @@
+#include "harness/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/require.hpp"
+#include "harness/results_cache.hpp"
+
+namespace tdn::harness {
+
+namespace {
+
+std::string cache_key(const RunConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.workload << "-" << static_cast<int>(cfg.policy) << "-" << std::hex
+     << cfg.fingerprint();
+  return os.str();
+}
+
+/// Fig. 3 right bars: classify every dependency's cache blocks by its
+/// lifetime usage in the RTCacheDirectory. A block is NotReused when its
+/// dependency actually bypassed the LLC at some point; otherwise it is
+/// classified by direction. Overlapping dependencies (halo sub-regions) are
+/// deduplicated by interval merging so coverage never exceeds the footprint.
+void add_fig3_tdnuca(const system::TiledSystem& sys_const,
+                     std::map<std::string, double>& m) {
+  auto& sys = const_cast<system::TiledSystem&>(sys_const);
+  const auto* hooks = sys.tdnuca_hooks();
+  if (hooks == nullptr) return;
+  // Category per byte range; later (smaller, more specific) ranges win by
+  // being merged after subtraction of already-counted bytes.
+  struct Piece {
+    AddrRange r;
+    int cat;  // 0=notreused 1=both 2=in 3=out
+  };
+  std::vector<Piece> pieces;
+  for (const auto& [dep, e] : hooks->directory().all()) {
+    (void)dep;
+    const Addr begin = align_up(e.vrange.begin, 64);
+    const Addr end = align_down(e.vrange.end, 64);
+    if (end <= begin) continue;
+    int cat;
+    if (e.ever_bypassed) cat = 0;
+    else if (e.ever_in && e.ever_out) cat = 1;
+    else if (e.ever_in) cat = 2;
+    else cat = 3;
+    pieces.push_back({AddrRange{begin, end}, cat});
+  }
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    if (a.r.size() != b.r.size()) return a.r.size() < b.r.size();
+    return a.r.begin < b.r.begin;
+  });
+  // Count lines smallest-range first; a line already claimed by a more
+  // specific dependency is not recounted for an enclosing one.
+  std::unordered_set<Addr> claimed;
+  double blocks[4] = {0, 0, 0, 0};
+  for (const Piece& p : pieces) {
+    for (Addr la = p.r.begin; la < p.r.end; la += 64) {
+      if (claimed.insert(la).second) blocks[p.cat] += 1.0;
+    }
+  }
+  m["fig3.td.notreused_blocks"] = blocks[0];
+  m["fig3.td.both_blocks"] = blocks[1];
+  m["fig3.td.in_blocks"] = blocks[2];
+  m["fig3.td.out_blocks"] = blocks[3];
+  m["fig3.td.dep_blocks"] = blocks[0] + blocks[1] + blocks[2] + blocks[3];
+}
+
+void add_fig3_rnuca(system::TiledSystem& sys,
+                    std::map<std::string, double>& m) {
+  const auto* pol = sys.rnuca_policy();
+  if (pol == nullptr) return;
+  const auto c = pol->census();
+  const double blocks_per_page =
+      static_cast<double>(sys.page_table().page_size() / 64);
+  m["fig3.rnuca.private_blocks"] =
+      static_cast<double>(c.private_pages) * blocks_per_page;
+  m["fig3.rnuca.shared_ro_blocks"] =
+      static_cast<double>(c.shared_ro_pages) * blocks_per_page;
+  m["fig3.rnuca.shared_blocks"] =
+      static_cast<double>(c.shared_pages) * blocks_per_page;
+  m["fig3.rnuca.total_blocks"] =
+      static_cast<double>(c.total()) * blocks_per_page;
+}
+
+}  // namespace
+
+std::uint64_t RunConfig::fingerprint() const {
+  std::ostringstream os;
+  // "v2": derived-metric schema version; bump to invalidate cached results
+  // when the metric extraction changes.
+  os << "v2/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+     << '/' << params.compute << '/' << params.seed << '/'
+     << sys.fingerprint();
+  const std::string s = os.str();
+  return fnv1a64(s.data(), s.size());
+}
+
+double RunResult::get(const std::string& key) const {
+  auto it = metrics.find(key);
+  TDN_REQUIRE(it != metrics.end(), "missing metric: " + key);
+  return it->second;
+}
+
+RunResult run_experiment(const RunConfig& cfg, bool use_cache) {
+  RunResult result;
+  result.workload = cfg.workload;
+  system::SystemConfig sys_cfg = cfg.sys;
+  sys_cfg.policy = cfg.policy;
+  result.policy = system::to_string(cfg.policy);
+
+  const std::string key = cache_key(cfg);
+  if (use_cache) {
+    if (auto cached = ResultsCache::load(key)) {
+      result.metrics = std::move(*cached);
+      return result;
+    }
+  }
+
+  system::TiledSystem sys(sys_cfg);
+  auto wl = workloads::make_workload(cfg.workload, cfg.params);
+  wl->build(sys);
+  sys.run();
+
+  result.metrics = sys.collect_stats().all();
+  const auto& ws = wl->stats();
+  result.metrics["workload.input_bytes"] = static_cast<double>(ws.input_bytes);
+  result.metrics["workload.num_tasks"] = static_cast<double>(ws.num_tasks);
+  result.metrics["workload.avg_task_bytes"] =
+      static_cast<double>(ws.avg_task_bytes);
+  result.metrics["workload.num_phases"] = static_cast<double>(ws.num_phases);
+  result.metrics["workload.total_blocks"] =
+      static_cast<double>(ws.input_bytes / 64);
+  add_fig3_tdnuca(sys, result.metrics);
+  add_fig3_rnuca(sys, result.metrics);
+
+  if (use_cache) ResultsCache::store(key, result.metrics);
+  return result;
+}
+
+std::vector<RunResult> run_suite(
+    const std::vector<system::PolicyKind>& policies,
+    const workloads::WorkloadParams& params, bool use_cache) {
+  std::vector<RunResult> out;
+  for (const std::string& wl : workloads::paper_workload_names()) {
+    for (const system::PolicyKind p : policies) {
+      RunConfig cfg;
+      cfg.workload = wl;
+      cfg.policy = p;
+      cfg.params = params;
+      out.push_back(run_experiment(cfg, use_cache));
+    }
+  }
+  return out;
+}
+
+const RunResult& find_result(const std::vector<RunResult>& results,
+                             const std::string& workload,
+                             system::PolicyKind policy) {
+  const std::string pol = system::to_string(policy);
+  for (const RunResult& r : results) {
+    if (r.workload == workload && r.policy == pol) return r;
+  }
+  TDN_REQUIRE(false, "no result for " + workload + "/" + pol);
+  static RunResult dummy;
+  return dummy;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  TDN_REQUIRE(!xs.empty(), "geometric mean of empty set");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    TDN_REQUIRE(x > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace tdn::harness

@@ -1,0 +1,50 @@
+// Experiment runner: builds a TiledSystem, constructs a workload's task
+// graph in it, runs to completion and extracts every metric the paper's
+// figures need. Results are memoized on disk (results_cache.hpp) keyed by
+// the full configuration fingerprint, so the per-figure bench binaries share
+// one simulation sweep.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "system/tiled_system.hpp"
+#include "workloads/workload.hpp"
+
+namespace tdn::harness {
+
+struct RunConfig {
+  std::string workload;
+  system::PolicyKind policy = system::PolicyKind::SNuca;
+  workloads::WorkloadParams params{};
+  system::SystemConfig sys{};  ///< policy field is overridden by `policy`
+
+  std::uint64_t fingerprint() const;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string policy;
+  std::map<std::string, double> metrics;
+
+  double get(const std::string& key) const;
+  bool has(const std::string& key) const { return metrics.count(key) != 0; }
+};
+
+/// Run one experiment (or fetch it from the cache).
+RunResult run_experiment(const RunConfig& cfg, bool use_cache = true);
+
+/// Run the full 8-benchmark suite for the given policies.
+std::vector<RunResult> run_suite(const std::vector<system::PolicyKind>& policies,
+                                 const workloads::WorkloadParams& params = {},
+                                 bool use_cache = true);
+
+/// Pull the result for (workload, policy) out of a suite result set.
+const RunResult& find_result(const std::vector<RunResult>& results,
+                             const std::string& workload,
+                             system::PolicyKind policy);
+
+double geometric_mean(const std::vector<double>& xs);
+
+}  // namespace tdn::harness

@@ -1,0 +1,18 @@
+#include "mem/address_space.hpp"
+
+#include "common/require.hpp"
+
+namespace tdn::mem {
+
+AddrRange VirtualSpace::allocate(Addr bytes, Addr align, std::string name) {
+  TDN_REQUIRE(bytes > 0, "cannot allocate zero bytes");
+  TDN_REQUIRE(is_pow2(align) && align >= 64,
+              "alignment must be a power of two >= one cache line");
+  const Addr begin = align_up(next_, align);
+  next_ = begin + bytes;
+  AddrRange r{begin, next_};
+  regions_.push_back({r, std::move(name)});
+  return r;
+}
+
+}  // namespace tdn::mem

@@ -1,0 +1,40 @@
+// VirtualSpace — a bump allocator for workload data regions in the simulated
+// virtual address space. Workloads allocate their matrices / buffers here and
+// pass the resulting ranges to the runtime as task dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tdn::mem {
+
+/// Base of the simulated heap; anything below is reserved (null page, code).
+inline constexpr Addr kHeapBase = 0x1000'0000;
+
+class VirtualSpace {
+ public:
+  explicit VirtualSpace(Addr base = kHeapBase) : next_(base), base_(base) {}
+
+  /// Allocate @p bytes aligned to @p align (power of two, >= 64).
+  /// The returned range is never recycled; workloads build their whole
+  /// footprint once.
+  AddrRange allocate(Addr bytes, Addr align = 64, std::string name = {});
+
+  /// Total bytes handed out so far.
+  Addr footprint() const noexcept { return next_ - base_; }
+
+  struct NamedRange {
+    AddrRange range;
+    std::string name;
+  };
+  const std::vector<NamedRange>& regions() const noexcept { return regions_; }
+
+ private:
+  Addr next_;
+  Addr base_;
+  std::vector<NamedRange> regions_;
+};
+
+}  // namespace tdn::mem

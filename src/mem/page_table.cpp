@@ -1,0 +1,66 @@
+#include "mem/page_table.hpp"
+
+#include "common/require.hpp"
+
+namespace tdn::mem {
+
+PageTable::PageTable(PageTableConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  TDN_REQUIRE(is_pow2(cfg_.page_size), "page size must be a power of two");
+  TDN_REQUIRE(cfg_.fragmentation >= 0.0 && cfg_.fragmentation <= 1.0,
+              "fragmentation must be in [0,1]");
+}
+
+Addr PageTable::allocate_frame() {
+  // Fragmentation injection: occasionally put a frame aside and hand out the
+  // next one, so consecutively touched virtual pages get non-adjacent frames.
+  if (cfg_.fragmentation > 0.0 && rng_.next_double() < cfg_.fragmentation) {
+    skipped_frames_.push_back(next_frame_++);
+  } else if (!skipped_frames_.empty() && rng_.next_double() < 0.5) {
+    const Addr frame = skipped_frames_.back();
+    skipped_frames_.pop_back();
+    return frame;
+  }
+  return next_frame_++;
+}
+
+Addr PageTable::translate(Addr vaddr) {
+  const Addr vpage = vaddr / cfg_.page_size;
+  auto [it, inserted] = va_to_pa_.try_emplace(vpage, 0);
+  if (inserted) it->second = allocate_frame();
+  return it->second * cfg_.page_size + (vaddr & (cfg_.page_size - 1));
+}
+
+bool PageTable::try_translate(Addr vaddr, Addr& paddr) const {
+  const Addr vpage = vaddr / cfg_.page_size;
+  auto it = va_to_pa_.find(vpage);
+  if (it == va_to_pa_.end()) return false;
+  paddr = it->second * cfg_.page_size + (vaddr & (cfg_.page_size - 1));
+  return true;
+}
+
+PageTable::RangeTranslation PageTable::translate_range(const AddrRange& vrange) {
+  RangeTranslation out;
+  if (vrange.empty()) return out;
+  const Addr ps = cfg_.page_size;
+  Addr va = align_down(vrange.begin, ps);
+  const Addr va_end = align_up(vrange.end, ps);
+  AddrRange current{0, 0};
+  for (; va < va_end; va += ps) {
+    const Addr pa_page = translate(va);
+    ++out.pages_walked;
+    // Clip the physical piece to the byte bounds of the virtual range.
+    const Addr piece_begin = pa_page + (va < vrange.begin ? vrange.begin - va : 0);
+    const Addr piece_end =
+        pa_page + (va + ps > vrange.end ? vrange.end - va : ps);
+    if (!current.empty() && current.end == piece_begin) {
+      current.end = piece_end;  // physically contiguous: collapse
+    } else {
+      if (!current.empty()) out.physical_pieces.push_back(current);
+      current = AddrRange{piece_begin, piece_end};
+    }
+  }
+  if (!current.empty()) out.physical_pieces.push_back(current);
+  return out;
+}
+
+}  // namespace tdn::mem

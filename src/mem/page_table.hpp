@@ -1,0 +1,66 @@
+// Page table + first-touch physical page allocator.
+//
+// The allocator can inject physical fragmentation: with fragmentation > 0,
+// consecutive virtual pages are deliberately given non-consecutive physical
+// frames some of the time. This matters for TD-NUCA because the RRT collapses
+// contiguous physical pages into one entry (paper Fig. 5); fragmented
+// dependencies need multiple RRT entries and create the occupancy pressure
+// discussed in Sec. V-E.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace tdn::mem {
+
+struct PageTableConfig {
+  Addr page_size = 4 * kKiB;
+  /// Probability that the allocator breaks physical contiguity on the next
+  /// first-touch allocation (0 = fully contiguous, 1 = every page random).
+  double fragmentation = 0.15;
+  std::uint64_t seed = 0x7dfca150'9e21b4c3ull;
+};
+
+class PageTable {
+ public:
+  explicit PageTable(PageTableConfig cfg = {});
+
+  Addr page_size() const noexcept { return cfg_.page_size; }
+
+  /// Translate a virtual address; allocates the physical frame on first
+  /// touch (Linux default allocator behaviour).
+  Addr translate(Addr vaddr);
+
+  /// Translate without allocating; returns false if the page is unmapped.
+  bool try_translate(Addr vaddr, Addr& paddr) const;
+
+  /// Translate a whole virtual range into maximal physically-contiguous
+  /// pieces — exactly the iterative collapse the tdnuca_register instruction
+  /// performs. Allocates frames on first touch. Also reports how many page
+  /// translations (TLB lookups) the iteration needed.
+  struct RangeTranslation {
+    std::vector<AddrRange> physical_pieces;
+    std::uint64_t pages_walked = 0;
+  };
+  RangeTranslation translate_range(const AddrRange& vrange);
+
+  std::uint64_t mapped_pages() const noexcept { return va_to_pa_.size(); }
+  std::uint64_t frames_used() const noexcept { return next_frame_; }
+
+ private:
+  Addr allocate_frame();
+
+  PageTableConfig cfg_;
+  std::unordered_map<Addr, Addr> va_to_pa_;  // vpage number -> pframe number
+  std::uint64_t next_frame_ = 0;
+  SplitMix64 rng_;
+  /// Frames skipped by fragmentation injection, reusable later (keeps the
+  /// physical footprint bounded).
+  std::vector<std::uint64_t> skipped_frames_;
+};
+
+}  // namespace tdn::mem

@@ -1,0 +1,50 @@
+#include "mem/tlb.hpp"
+
+#include "common/require.hpp"
+
+namespace tdn::mem {
+
+Tlb::Tlb(TlbConfig cfg, Addr page_size) : cfg_(cfg), page_size_(page_size) {
+  TDN_REQUIRE(cfg_.entries > 0, "TLB needs at least one entry");
+  TDN_REQUIRE(is_pow2(page_size_), "page size must be a power of two");
+}
+
+Cycle Tlb::access(Addr vaddr) {
+  const Addr vpage = vaddr / page_size_;
+  auto it = map_.find(vpage);
+  if (it != map_.end()) {
+    hits_.inc();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return cfg_.hit_latency;
+  }
+  misses_.inc();
+  if (map_.size() >= cfg_.entries) {
+    const Addr victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(vpage);
+  map_[vpage] = lru_.begin();
+  return cfg_.hit_latency + cfg_.miss_penalty;
+}
+
+void Tlb::invalidate_page(Addr vaddr) {
+  const Addr vpage = vaddr / page_size_;
+  auto it = map_.find(vpage);
+  if (it == map_.end()) return;
+  shootdowns_.inc();
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void Tlb::invalidate_all() {
+  shootdowns_.inc(map_.size());
+  lru_.clear();
+  map_.clear();
+}
+
+bool Tlb::contains(Addr vaddr) const {
+  return map_.count(vaddr / page_size_) != 0;
+}
+
+}  // namespace tdn::mem

@@ -1,0 +1,53 @@
+// Per-core data TLB model: fully associative, true-LRU, as in the paper's
+// gem5 configuration (64 entries, 1-cycle access). Used both on the demand
+// access path and by the iterative VA->PA translation that the tdnuca_register
+// / invalidate / flush instructions perform.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "stats/counters.hpp"
+
+namespace tdn::mem {
+
+struct TlbConfig {
+  unsigned entries = 64;
+  Cycle hit_latency = 1;
+  /// Page-walk cost on a TLB miss: an x86 hardware walker with warm
+  /// paging-structure caches resolves most walks in a couple of memory
+  /// accesses.
+  Cycle miss_penalty = 24;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig cfg = {}, Addr page_size = 4 * kKiB);
+
+  /// Look up the page of @p vaddr; updates LRU and fills on miss.
+  /// Returns the access latency (hit_latency or hit_latency + miss_penalty).
+  Cycle access(Addr vaddr);
+
+  /// Drop the entry for the page containing @p vaddr (TLB shootdown).
+  void invalidate_page(Addr vaddr);
+  void invalidate_all();
+
+  bool contains(Addr vaddr) const;
+  std::uint64_t hits() const noexcept { return hits_.value(); }
+  std::uint64_t misses() const noexcept { return misses_.value(); }
+  std::uint64_t shootdowns() const noexcept { return shootdowns_.value(); }
+
+ private:
+  TlbConfig cfg_;
+  Addr page_size_;
+  // LRU list front = most recent; map vpage -> list iterator.
+  std::list<Addr> lru_;
+  std::unordered_map<Addr, std::list<Addr>::iterator> map_;
+  stats::Counter hits_;
+  stats::Counter misses_;
+  stats::Counter shootdowns_;
+};
+
+}  // namespace tdn::mem

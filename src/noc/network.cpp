@@ -1,0 +1,61 @@
+#include "noc/network.hpp"
+
+#include <array>
+
+#include "common/require.hpp"
+
+namespace tdn::noc {
+
+Network::Network(const Mesh& mesh, sim::EventQueue& eq, NetworkConfig cfg)
+    : mesh_(mesh), eq_(eq), cfg_(cfg), links_(mesh.tiles()),
+      per_router_bytes_(mesh.tiles(), 0) {
+  TDN_REQUIRE(cfg_.link_bytes_per_cycle > 0, "link bandwidth must be positive");
+}
+
+Network::Link& Network::link_between(CoreId from, CoreId to) {
+  const Coord a = mesh_.coord(from);
+  const Coord b = mesh_.coord(to);
+  unsigned dir;
+  if (b.x == a.x + 1) dir = 0;       // east
+  else if (a.x == b.x + 1) dir = 1;  // west
+  else if (b.y == a.y + 1) dir = 3;  // south (y grows downward)
+  else dir = 2;                      // north
+  return links_[from][dir];
+}
+
+void Network::send(CoreId src, CoreId dst, MsgClass cls,
+                   std::function<void()> deliver) {
+  const unsigned bytes = bytes_of(cls);
+  messages_.inc();
+  if (cls == MsgClass::Data) data_messages_.inc();
+
+  const auto path = mesh_.xy_route(src, dst);
+  // Every router the message traverses (including src and dst) moves the
+  // payload through its crossbar once.
+  for (const CoreId t : path) {
+    per_router_bytes_[t] += bytes;
+    router_bytes_ += bytes;
+  }
+  hops_total_ += path.size() - 1;
+
+  const Cycle start = eq_.now();
+  Cycle t = start;
+  const Cycle serialization =
+      (bytes + cfg_.link_bytes_per_cycle - 1) / cfg_.link_bytes_per_cycle;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    Link& link = link_between(path[i], path[i + 1]);
+    const Cycle depart = t > link.next_free ? t : link.next_free;
+    link.next_free = depart + serialization;
+    t = depart + cfg_.router_latency + cfg_.link_latency;
+  }
+  latency_.add(static_cast<double>(t - start));
+  if (t == start) {
+    // Local delivery in the same cycle would re-enter the caller's stack;
+    // defer by zero cycles through the queue to keep ordering uniform.
+    eq_.schedule_in(0, std::move(deliver));
+  } else {
+    eq_.schedule_at(t, std::move(deliver));
+  }
+}
+
+}  // namespace tdn::noc

@@ -1,0 +1,82 @@
+// Network timing + traffic accounting.
+//
+// Messages follow XY routes hop by hop. Per-hop latency is router + link
+// delay; each directional link additionally enforces a serialization /
+// bandwidth constraint via a busy-until horizon, so bursts (e.g. flush storms)
+// experience queuing. The model accounts, per router, the bytes that passed
+// through it — the paper's Fig. 12 "data movement" metric is the aggregate of
+// those bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/mesh.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/counters.hpp"
+
+namespace tdn::noc {
+
+/// Message classes, sized as in a MESI protocol on a 64B-line system:
+/// control packets carry address + command; data packets add one line.
+enum class MsgClass : std::uint8_t { Control, Data };
+
+struct NetworkConfig {
+  Cycle link_latency = 1;
+  Cycle router_latency = 1;
+  /// 128-bit links (gem5 Garnet default). The suite's memory-bound phases
+  /// load the mesh to a level where placement quality shows up in queueing
+  /// as well as latency, without making the NoC the sole bottleneck.
+  unsigned link_bytes_per_cycle = 16;
+  unsigned control_bytes = 8;
+  unsigned data_bytes = 72;  ///< 8B header + 64B line
+};
+
+class Network {
+ public:
+  Network(const Mesh& mesh, sim::EventQueue& eq, NetworkConfig cfg = {});
+
+  /// Send a message; @p deliver runs when the head arrives at @p dst.
+  /// src == dst is a local (same-tile) transfer: zero network latency, but
+  /// the bytes still count as passing through the one local router.
+  void send(CoreId src, CoreId dst, MsgClass cls,
+            std::function<void()> deliver);
+
+  unsigned bytes_of(MsgClass cls) const noexcept {
+    return cls == MsgClass::Control ? cfg_.control_bytes : cfg_.data_bytes;
+  }
+  unsigned hops(CoreId a, CoreId b) const { return mesh_.hops(a, b); }
+
+  // --- statistics -----------------------------------------------------
+  std::uint64_t total_router_bytes() const noexcept { return router_bytes_; }
+  std::uint64_t messages() const noexcept { return messages_.value(); }
+  std::uint64_t data_messages() const noexcept { return data_messages_.value(); }
+  std::uint64_t router_bytes_at(CoreId tile) const {
+    return per_router_bytes_.at(tile);
+  }
+  double mean_latency() const noexcept { return latency_.mean(); }
+  std::uint64_t total_hops() const noexcept { return hops_total_; }
+
+ private:
+  struct Link {
+    Cycle next_free = 0;
+  };
+  /// Directional link from tile t toward direction d (0=E,1=W,2=N,3=S).
+  Link& link_between(CoreId from, CoreId to);
+
+  const Mesh& mesh_;
+  sim::EventQueue& eq_;
+  NetworkConfig cfg_;
+  std::vector<std::array<Link, 4>> links_;
+  std::vector<std::uint64_t> per_router_bytes_;
+  std::uint64_t router_bytes_ = 0;
+  std::uint64_t hops_total_ = 0;
+  stats::Counter messages_;
+  stats::Counter data_messages_;
+  stats::Sampled latency_;
+};
+
+}  // namespace tdn::noc

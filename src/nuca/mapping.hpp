@@ -1,0 +1,80 @@
+// NUCA mapping policy interface.
+//
+// A MappingPolicy answers the two questions every NUCA design must answer
+// (paper Sec. II-A): *NUCA Mapping* — which LLC bank serves a given cache
+// block for a given requester — and whether the access should bypass the LLC
+// entirely. Concrete policies: S-NUCA (snuca.hpp), R-NUCA (rnuca.hpp) and
+// TD-NUCA (tdnuca_policy.hpp).
+//
+// Policies that relocate data at run time (R-NUCA reclassification, TD-NUCA
+// dependency remapping) need to flush caches; they do so through the CacheOps
+// interface implemented by coherence::CoherentSystem, which is injected after
+// construction (set_ops) to break the layering cycle.
+#pragma once
+
+#include <functional>
+
+#include "common/tile_mask.hpp"
+#include "common/types.hpp"
+
+namespace tdn::nuca {
+
+struct MapDecision {
+  enum class Kind : std::uint8_t { Bank, Bypass };
+  Kind kind = Kind::Bank;
+  BankId bank = 0;
+  /// Extra cycles the lookup itself cost (e.g. the RRT access, paper
+  /// Sec. III-B3: "this operation adds a delay to the private cache misses").
+  Cycle lookup_latency = 0;
+
+  static MapDecision to_bank(BankId b, Cycle lat = 0) {
+    return MapDecision{Kind::Bank, b, lat};
+  }
+  static MapDecision bypass(Cycle lat = 0) {
+    return MapDecision{Kind::Bypass, kInvalidBank, lat};
+  }
+};
+
+/// Cache maintenance operations a policy may trigger (flushes on data
+/// relocation). Ranges are physical and block-aligned by the caller.
+class CacheOps {
+ public:
+  virtual ~CacheOps() = default;
+  /// Write back + invalidate all blocks of @p prange from the private caches
+  /// of @p cores. @p done fires when the flush has fully drained.
+  virtual void flush_l1_range(CoreMask cores, const AddrRange& prange,
+                              std::function<void()> done) = 0;
+  /// Write back + invalidate all blocks of @p prange from the given LLC
+  /// banks, including back-invalidation of L1 copies they track.
+  virtual void flush_llc_range(BankMask banks, const AddrRange& prange,
+                               std::function<void()> done) = 0;
+  virtual Cycle now() const = 0;
+};
+
+class MappingPolicy {
+ public:
+  virtual ~MappingPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Decide the LLC destination for an L1 miss or writeback issued by
+  /// @p core. Called on the critical path of every private-cache miss.
+  virtual MapDecision map(CoreId core, Addr vaddr, Addr paddr,
+                          AccessKind kind) = 0;
+
+  /// Demand-access hook, called once per L1 *access* (hit or miss) with the
+  /// virtual address, before map(). OS-based policies use it to run their
+  /// page classification state machine. Returns extra latency to charge.
+  virtual Cycle on_access(CoreId /*core*/, Addr /*vaddr*/,
+                          AccessKind /*kind*/) {
+    return 0;
+  }
+
+  /// Inject the cache-maintenance backend (called by the system builder).
+  virtual void set_ops(CacheOps* ops) { ops_ = ops; }
+
+ protected:
+  CacheOps* ops_ = nullptr;
+};
+
+}  // namespace tdn::nuca

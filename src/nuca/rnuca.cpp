@@ -1,0 +1,101 @@
+#include "nuca/rnuca.hpp"
+
+namespace tdn::nuca {
+
+RNucaPolicy::RNucaPolicy(const noc::Mesh& mesh, unsigned num_banks,
+                         mem::PageTable& pt, RNucaConfig cfg)
+    : cfg_(cfg), num_banks_(num_banks), pt_(pt), page_size_(pt.page_size()),
+      clusters_(mesh) {}
+
+void RNucaPolicy::flush_page(Addr vpage, CoreMask cores, BankMask banks) {
+  if (ops_ == nullptr) return;
+  Addr pa = 0;
+  const Addr va = vpage * page_size_;
+  if (!pt_.try_translate(va, pa)) return;  // never materialized: nothing cached
+  const AddrRange prange{pa, pa + page_size_};
+  page_flushes_.inc();
+  if (!cores.empty()) ops_->flush_l1_range(cores, prange, [] {});
+  if (!banks.empty()) ops_->flush_llc_range(banks, prange, [] {});
+}
+
+Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
+  const Addr vpage = vaddr / page_size_;
+  auto [it, inserted] = pages_.try_emplace(vpage);
+  PageState& ps = it->second;
+  if (inserted) {
+    ps.cls = PageClass::Private;
+    ps.owner = core;
+    ps.written = is_write(kind);
+    return cfg_.first_touch_penalty;
+  }
+  switch (ps.cls) {
+    case PageClass::Private:
+      if (ps.owner == core) {
+        ps.written = ps.written || is_write(kind);
+        return 0;
+      }
+      // Second core touches the page: reclassify. The previous owner's
+      // cached copies (its L1 and its local LLC bank) are flushed and its
+      // TLB entry is invalidated (paper Sec. II-C).
+      reclassifications_.inc();
+      flush_page(vpage, CoreMask::single(ps.owner),
+                 BankMask::single(ps.owner));
+      if (ps.owner < tlbs_.size() && tlbs_[ps.owner] != nullptr)
+        tlbs_[ps.owner]->invalidate_page(vaddr);
+      ps.cls = (ps.written || is_write(kind)) ? PageClass::Shared
+                                              : PageClass::SharedRO;
+      ps.written = ps.written || is_write(kind);
+      ps.owner = kInvalidCore;
+      return cfg_.reclassification_penalty;
+    case PageClass::SharedRO:
+      if (!is_write(kind)) return 0;
+      // A write to a replicated read-only page: demote to Shared and flush
+      // every replica from every cache (Sec. V enhancement).
+      reclassifications_.inc();
+      ps.cls = PageClass::Shared;
+      ps.written = true;
+      flush_page(vpage, CoreMask::first_n(num_banks_),
+                 BankMask::first_n(num_banks_));
+      for (auto* tlb : tlbs_)
+        if (tlb != nullptr) tlb->invalidate_page(vaddr);
+      return cfg_.reclassification_penalty;
+    case PageClass::Shared:
+      return 0;  // terminal class
+  }
+  return 0;
+}
+
+MapDecision RNucaPolicy::map(CoreId core, Addr vaddr, Addr paddr,
+                             AccessKind /*kind*/) {
+  const Addr vpage = vaddr / page_size_;
+  auto it = pages_.find(vpage);
+  // on_access always runs first on the demand path, but writebacks can
+  // outlive the map state; fall back to interleaving for unknown pages.
+  if (it == pages_.end())
+    return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+  switch (it->second.cls) {
+    case PageClass::Private:
+      return MapDecision::to_bank(it->second.owner);
+    case PageClass::SharedRO:
+      return MapDecision::to_bank(
+          clusters_.bank_for(clusters_.cluster_of(core), paddr));
+    case PageClass::Shared:
+      return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+  }
+  return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+}
+
+RNucaPolicy::Census RNucaPolicy::census() const {
+  Census c;
+  for (const auto& [page, ps] : pages_) {
+    (void)page;
+    switch (ps.cls) {
+      case PageClass::Private: ++c.private_pages; break;
+      case PageClass::SharedRO: ++c.shared_ro_pages; break;
+      case PageClass::Shared: ++c.shared_pages; break;
+    }
+  }
+  return c;
+}
+
+}  // namespace tdn::nuca

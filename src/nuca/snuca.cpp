@@ -1,0 +1,5 @@
+// S-NUCA is fully inline (snuca.hpp); this translation unit anchors the
+// vtable of SNucaPolicy.
+#include "nuca/snuca.hpp"
+
+namespace tdn::nuca {}  // namespace tdn::nuca

@@ -1,0 +1,36 @@
+// S-NUCA — the baseline of every figure in the paper: static address
+// interleaving of cache blocks across all LLC banks. Mapping and search are
+// trivial; capacity is maximal; NUCA distance averages the mesh mean.
+#pragma once
+
+#include "common/types.hpp"
+#include "nuca/mapping.hpp"
+
+namespace tdn::nuca {
+
+/// The interleaving function, shared by every policy that falls back to
+/// static interleaving (S-NUCA itself, RRT misses under TD-NUCA, shared
+/// pages under R-NUCA).
+inline BankId snuca_bank(Addr paddr, unsigned num_banks,
+                         unsigned line_size = 64) {
+  return static_cast<BankId>((paddr / line_size) % num_banks);
+}
+
+class SNucaPolicy final : public MappingPolicy {
+ public:
+  explicit SNucaPolicy(unsigned num_banks, unsigned line_size = 64)
+      : num_banks_(num_banks), line_size_(line_size) {}
+
+  const char* name() const override { return "S-NUCA"; }
+
+  MapDecision map(CoreId /*core*/, Addr /*vaddr*/, Addr paddr,
+                  AccessKind /*kind*/) override {
+    return MapDecision::to_bank(snuca_bank(paddr, num_banks_, line_size_));
+  }
+
+ private:
+  unsigned num_banks_;
+  unsigned line_size_;
+};
+
+}  // namespace tdn::nuca

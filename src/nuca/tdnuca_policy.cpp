@@ -1,0 +1,39 @@
+#include "nuca/tdnuca_policy.hpp"
+
+#include <algorithm>
+
+namespace tdn::nuca {
+
+TdNucaPolicy::TdNucaPolicy(const noc::Mesh& mesh, unsigned num_banks,
+                           TdNucaConfig cfg)
+    : cfg_(cfg), num_banks_(num_banks), clusters_(mesh) {
+  rrts_.reserve(num_banks);
+  for (unsigned i = 0; i < num_banks; ++i)
+    rrts_.emplace_back(cfg_.rrt_entries, cfg_.rrt_latency);
+}
+
+MapDecision TdNucaPolicy::map(CoreId core, Addr /*vaddr*/, Addr paddr,
+                              AccessKind /*kind*/) {
+  tdnuca::Rrt& rrt = rrts_[core];
+  rrt.sample_occupancy(occupancy_);
+  const auto entry = rrt.lookup(paddr);
+  const Cycle lat = cfg_.rrt_latency;
+  if (!entry) {
+    rrt_misses_.inc();
+    return MapDecision::to_bank(snuca_bank(paddr, num_banks_), lat);
+  }
+  rrt_hits_.inc();
+  const int bits = entry->mask.count();
+  if (bits == 0) return MapDecision::bypass(lat);
+  if (bits == 1) return MapDecision::to_bank(entry->mask.sole_bit(), lat);
+  return MapDecision::to_bank(
+      tdnuca::ClusterMap::bank_for_mask(entry->mask, paddr), lat);
+}
+
+unsigned TdNucaPolicy::max_rrt_occupancy() const {
+  unsigned m = 0;
+  for (const auto& r : rrts_) m = std::max(m, r.max_occupancy());
+  return m;
+}
+
+}  // namespace tdn::nuca

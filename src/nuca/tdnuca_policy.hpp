@@ -1,0 +1,70 @@
+// TD-NUCA hardware-side mapping (paper Sec. III-B3).
+//
+// On every private-cache miss and writeback the core's RRT is consulted:
+//   * miss in the RRT        -> S-NUCA static interleaving (untracked data),
+//   * BankMask with 0 bits   -> bypass the LLC (straight to memory),
+//   * BankMask with 1 bit    -> that LLC bank (local-bank mapping),
+//   * BankMask with 4 bits   -> cluster-replicated: interleave across the
+//                               cluster's banks by the low block-address bits.
+// The RRT lookup latency is charged on the miss path (Sec. V-E sweeps it).
+//
+// The software side — placement decisions, RRT maintenance, flush sequencing
+// — lives in tdnuca::TdNucaRuntimeHooks.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/mesh.hpp"
+#include "nuca/mapping.hpp"
+#include "nuca/snuca.hpp"
+#include "stats/counters.hpp"
+#include "tdnuca/cluster_map.hpp"
+#include "tdnuca/rrt.hpp"
+
+namespace tdn::nuca {
+
+struct TdNucaConfig {
+  unsigned rrt_entries = 64;
+  Cycle rrt_latency = 1;
+  /// Fig. 15 variant: only the LLC-bypass placement is applied; private
+  /// local-bank mapping and cluster replication are disabled.
+  bool bypass_only = false;
+};
+
+class TdNucaPolicy final : public MappingPolicy {
+ public:
+  TdNucaPolicy(const noc::Mesh& mesh, unsigned num_banks,
+               TdNucaConfig cfg = {});
+
+  const char* name() const override {
+    return cfg_.bypass_only ? "TD-NUCA(bypass-only)" : "TD-NUCA";
+  }
+
+  MapDecision map(CoreId core, Addr vaddr, Addr paddr,
+                  AccessKind kind) override;
+
+  const TdNucaConfig& config() const noexcept { return cfg_; }
+  tdnuca::Rrt& rrt(CoreId core) { return rrts_.at(core); }
+  const tdnuca::Rrt& rrt(CoreId core) const { return rrts_.at(core); }
+  const tdnuca::ClusterMap& clusters() const noexcept { return clusters_; }
+  nuca::CacheOps* ops() const noexcept { return ops_; }
+
+  std::uint64_t rrt_hits() const noexcept { return rrt_hits_.value(); }
+  std::uint64_t rrt_misses() const noexcept { return rrt_misses_.value(); }
+  /// Mean RRT occupancy, sampled once per map() call (a dense, unbiased
+  /// proxy for "during the whole execution", Sec. V-E).
+  double mean_rrt_occupancy() const noexcept { return occupancy_.mean(); }
+  unsigned max_rrt_occupancy() const;
+
+ private:
+  TdNucaConfig cfg_;
+  unsigned num_banks_;
+  tdnuca::ClusterMap clusters_;
+  std::vector<tdnuca::Rrt> rrts_;
+  stats::Counter rrt_hits_;
+  stats::Counter rrt_misses_;
+  stats::Sampled occupancy_;
+};
+
+}  // namespace tdn::nuca

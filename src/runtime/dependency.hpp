@@ -1,0 +1,38 @@
+// Task dependency regions (the "array sections" of OpenMP 4.0 depend
+// clauses). A Dependency names a virtual address range; tasks reference it
+// with a direction (in / out / inout). The runtime keeps one record per
+// region — the paper's RTCacheDirectory has "a unique entry for each task
+// dependency".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tdn::runtime {
+
+struct Dependency {
+  DepId id = 0;
+  AddrRange vrange;
+  std::string name;
+};
+
+struct DepAccess {
+  DepId dep = 0;
+  DepUse use = DepUse::In;
+
+  bool reads() const noexcept { return use != DepUse::Out; }
+  bool writes() const noexcept { return use != DepUse::In; }
+};
+
+inline const char* to_string(DepUse u) {
+  switch (u) {
+    case DepUse::In: return "in";
+    case DepUse::Out: return "out";
+    case DepUse::InOut: return "inout";
+  }
+  return "?";
+}
+
+}  // namespace tdn::runtime

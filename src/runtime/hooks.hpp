@@ -1,0 +1,45 @@
+// RuntimeHooks — the extension points TD-NUCA adds to the task lifecycle
+// (paper Sec. III-C2). The base implementation is a no-op, which is exactly
+// what the S-NUCA and R-NUCA configurations use: those policies act below
+// the runtime, in the OS/hardware.
+//
+// TD-NUCA's hooks (tdnuca/runtime_hooks.hpp) maintain the RTCacheDirectory,
+// decide each dependency's LLC placement before the task starts, and issue
+// the tdnuca_register / invalidate / flush instructions whose execution time
+// is charged to the core.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace tdn::core {
+class SimCore;
+}
+
+namespace tdn::runtime {
+
+struct Task;
+
+class RuntimeHooks {
+ public:
+  virtual ~RuntimeHooks() = default;
+
+  /// The task has been inserted into the TDG (program order).
+  virtual void on_task_created(const Task& /*task*/) {}
+
+  /// The task has been scheduled to @p core but has not started. Call
+  /// @p done (possibly after consuming simulated core time) to let it run.
+  virtual void before_task(Task& /*task*/, core::SimCore& /*core*/,
+                           std::function<void()> done) {
+    done();
+  }
+
+  /// The task's accesses have completed. Call @p done to retire the task.
+  virtual void after_task(Task& /*task*/, core::SimCore& /*core*/,
+                          std::function<void()> done) {
+    done();
+  }
+};
+
+}  // namespace tdn::runtime

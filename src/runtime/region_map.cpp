@@ -1,0 +1,65 @@
+#include "runtime/region_map.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace tdn::runtime {
+
+void RegionMap::ensure_boundary(Addr a) {
+  auto it = nodes_.upper_bound(a);
+  if (it == nodes_.begin()) return;
+  --it;
+  if (it->first == a || it->second.end <= a) return;
+  // Node [it->first, end) covers `a` strictly inside: split it.
+  Node right = it->second;           // copies writer/readers
+  const Addr right_end = right.end;  // keep
+  it->second.end = a;
+  right.end = right_end;
+  nodes_.emplace(a, std::move(right));
+}
+
+std::vector<TaskId> RegionMap::access(const AddrRange& range, TaskId task,
+                                      bool write) {
+  TDN_REQUIRE(!range.empty(), "dependency range must be non-empty");
+  ensure_boundary(range.begin);
+  ensure_boundary(range.end);
+
+  std::vector<TaskId> preds;
+  auto add_pred = [&](TaskId t) {
+    if (t == task || t == kNoWriter) return;
+    if (std::find(preds.begin(), preds.end(), t) == preds.end())
+      preds.push_back(t);
+  };
+
+  Addr cursor = range.begin;
+  auto it = nodes_.lower_bound(range.begin);
+  // Step back if the previous node ends beyond our start (only possible when
+  // no boundary existed — but ensure_boundary created one, so lower_bound is
+  // correct; keep the invariant checked).
+  while (cursor < range.end) {
+    if (it == nodes_.end() || it->first > cursor) {
+      // Gap: untouched bytes; create a node covering up to the next boundary.
+      const Addr gap_end =
+          it == nodes_.end() ? range.end : std::min(it->first, range.end);
+      it = nodes_.emplace_hint(it, cursor, Node{gap_end, kNoWriter, {}});
+    }
+    Node& n = it->second;
+    TDN_ASSERT(it->first == cursor && n.end <= range.end);
+    add_pred(n.last_writer);
+    if (write) {
+      for (TaskId r : n.readers) add_pred(r);
+      n.last_writer = task;
+      n.readers.clear();
+    } else {
+      if (std::find(n.readers.begin(), n.readers.end(), task) ==
+          n.readers.end())
+        n.readers.push_back(task);
+    }
+    cursor = n.end;
+    ++it;
+  }
+  return preds;
+}
+
+}  // namespace tdn::runtime

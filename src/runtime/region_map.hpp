@@ -1,0 +1,41 @@
+// RegionMap — interval-based data-dependence tracking.
+//
+// Records, per disjoint byte interval, the last writing task and the readers
+// since that write, and derives the dataflow edges for a new access:
+//   read  -> RAW edge to the last writer
+//   write -> WAW edge to the last writer, WAR edges to readers since
+// Intervals split on demand, so partially overlapping dependency regions are
+// handled exactly (OmpSs-style region analysis).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tdn::runtime {
+
+class RegionMap {
+ public:
+  /// Record an access by @p task to @p range.
+  /// Returns the de-duplicated predecessor task ids (never contains @p task).
+  std::vector<TaskId> access(const AddrRange& range, TaskId task, bool write);
+
+  std::size_t interval_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static constexpr TaskId kNoWriter = ~TaskId{0};
+  struct Node {
+    Addr end;
+    TaskId last_writer = kNoWriter;
+    std::vector<TaskId> readers;  // since last write
+  };
+
+  /// Ensure @p a is an interval boundary (split the covering node, if any).
+  void ensure_boundary(Addr a);
+
+  std::map<Addr, Node> nodes_;  // key = interval begin; disjoint, sorted
+};
+
+}  // namespace tdn::runtime

@@ -1,0 +1,31 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace tdn::runtime {
+
+Task* AffinityScheduler::dequeue(CoreId core) {
+  if (queue_.empty()) return nullptr;
+  TDN_REQUIRE(tasks_ != nullptr, "AffinityScheduler: set_tasks() not called");
+  // Scan a bounded window for a task with a predecessor that ran on this
+  // core; bounding the window keeps the scheduler O(1)-ish and avoids
+  // starving old tasks.
+  const std::size_t window = std::min<std::size_t>(queue_.size(), 8);
+  for (std::size_t i = 0; i < window; ++i) {
+    Task* t = queue_[i];
+    const bool affine =
+        std::any_of(t->predecessors.begin(), t->predecessors.end(),
+                    [&](TaskId pid) { return (*tasks_)[pid].ran_on == core; });
+    if (affine) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      return t;
+    }
+  }
+  Task* t = queue_.front();
+  queue_.pop_front();
+  return t;
+}
+
+}  // namespace tdn::runtime

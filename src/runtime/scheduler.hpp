@@ -1,0 +1,62 @@
+// Ready-queue schedulers. The dynamic scheduler is the reason OS-based page
+// classification breaks down (paper Sec. II-C): tasks touching the same data
+// migrate freely between cores. FifoScheduler reproduces that behaviour;
+// AffinityScheduler is the ablation that prefers to re-run tasks where their
+// predecessors ran.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/task.hpp"
+
+namespace tdn::runtime {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual const char* name() const = 0;
+  virtual void enqueue(Task& task) = 0;
+  /// Pick a task for @p core; nullptr if none available.
+  virtual Task* dequeue(CoreId core) = 0;
+  virtual bool empty() const = 0;
+};
+
+/// First-come-first-served central ready queue (Nanos++ default behaviour
+/// approximation): any idle core takes the oldest ready task.
+class FifoScheduler final : public Scheduler {
+ public:
+  const char* name() const override { return "fifo"; }
+  void enqueue(Task& task) override { queue_.push_back(&task); }
+  Task* dequeue(CoreId /*core*/) override {
+    if (queue_.empty()) return nullptr;
+    Task* t = queue_.front();
+    queue_.pop_front();
+    return t;
+  }
+  bool empty() const override { return queue_.empty(); }
+
+ private:
+  std::deque<Task*> queue_;
+};
+
+/// Prefers tasks with a predecessor that ran on the requesting core (cheap
+/// locality heuristic); falls back to FIFO. Used by the scheduler ablation.
+class AffinityScheduler final : public Scheduler {
+ public:
+  /// The task table lives in the RuntimeSystem, which is constructed after
+  /// the scheduler; wire it before the first dispatch.
+  void set_tasks(const std::vector<Task>* tasks) { tasks_ = tasks; }
+
+  const char* name() const override { return "affinity"; }
+  void enqueue(Task& task) override { queue_.push_back(&task); }
+  Task* dequeue(CoreId core) override;
+  bool empty() const override { return queue_.empty(); }
+
+ private:
+  const std::vector<Task>* tasks_ = nullptr;
+  std::deque<Task*> queue_;
+};
+
+}  // namespace tdn::runtime

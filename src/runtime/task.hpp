@@ -1,0 +1,32 @@
+// Task — a node of the Task Dependency Graph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/access_stream.hpp"
+#include "runtime/dependency.hpp"
+
+namespace tdn::runtime {
+
+enum class TaskState : std::uint8_t { Created, Ready, Running, Done };
+
+struct Task {
+  TaskId id = 0;
+  std::string label;
+  std::vector<DepAccess> deps;
+  core::TaskProgram program;
+
+  // --- TDG state (managed by the runtime) ------------------------------
+  TaskState state = TaskState::Created;
+  std::size_t phase = 0;  ///< creation phase (between taskwaits)
+  std::vector<TaskId> successors;
+  std::vector<TaskId> predecessors;
+  unsigned unmet_predecessors = 0;
+  CoreId ran_on = kInvalidCore;
+  Cycle started_at = 0;
+  Cycle finished_at = 0;
+};
+
+}  // namespace tdn::runtime

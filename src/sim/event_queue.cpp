@@ -1,0 +1,25 @@
+#include "sim/event_queue.hpp"
+
+namespace tdn::sim {
+
+void EventQueue::schedule_at(Cycle when, Action fn) {
+  TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+Cycle EventQueue::run() { return run_until(kNeverCycle); }
+
+Cycle EventQueue::run_until(Cycle limit) {
+  while (!heap_.empty()) {
+    // Move the action out before popping: the action may schedule new events.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    TDN_REQUIRE(ev.when <= limit, "simulation exceeded cycle limit (deadlock?)");
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace tdn::sim

@@ -1,0 +1,58 @@
+// Discrete-event simulation engine.
+//
+// A single binary-heap event queue drives the whole system. Events scheduled
+// for the same cycle execute in schedule order (a monotonically increasing
+// sequence number breaks ties), which makes every run fully deterministic
+// (DESIGN.md decision 6).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace tdn::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule @p fn to run at absolute cycle @p when (>= now()).
+  void schedule_at(Cycle when, Action fn);
+  /// Schedule @p fn to run @p delay cycles from now.
+  void schedule_in(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue drains. Returns the final cycle.
+  Cycle run();
+  /// Run events with a hard cycle limit (deadlock guard in tests).
+  /// Returns the final cycle; throws RequireError if the limit is exceeded.
+  Cycle run_until(Cycle limit);
+
+  Cycle now() const noexcept { return now_; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  Cycle now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tdn::sim

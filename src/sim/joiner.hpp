@@ -1,0 +1,57 @@
+// Joiner — completion join for a dynamic set of asynchronous operations.
+// Usage: create via std::make_shared, call add() before launching each
+// async operation and complete() from its callback; call arm() once all
+// operations have been issued. The done callback fires exactly once, when
+// armed and the pending count reaches zero (synchronously if nothing is
+// pending).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/require.hpp"
+
+namespace tdn::sim {
+
+class Joiner {
+ public:
+  explicit Joiner(std::function<void()> done) : done_(std::move(done)) {}
+
+  void add(std::uint64_t n = 1) { pending_ += n; }
+
+  void complete() {
+    TDN_ASSERT(pending_ > 0);
+    --pending_;
+    check();
+  }
+
+  void arm() {
+    TDN_ASSERT(!armed_);
+    armed_ = true;
+    check();
+  }
+
+  std::uint64_t pending() const noexcept { return pending_; }
+
+ private:
+  void check() {
+    if (armed_ && pending_ == 0 && done_) {
+      auto d = std::move(done_);
+      done_ = nullptr;
+      d();
+    }
+  }
+
+  std::function<void()> done_;
+  std::uint64_t pending_ = 0;
+  bool armed_ = false;
+};
+
+using JoinerPtr = std::shared_ptr<Joiner>;
+
+inline JoinerPtr make_joiner(std::function<void()> done) {
+  return std::make_shared<Joiner>(std::move(done));
+}
+
+}  // namespace tdn::sim

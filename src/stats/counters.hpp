@@ -1,0 +1,80 @@
+// Lightweight statistics primitives. Counters are plain value types owned by
+// the component that produces them; the Registry (registry.hpp) gives tools a
+// uniform way to dump everything.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace tdn::stats {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) noexcept { value_ += by; }
+  std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Running mean/min/max of a sampled quantity (e.g. NUCA distance per access,
+/// RRT occupancy per sample point).
+class Sampled {
+ public:
+  void add(double v, double weight = 1.0) noexcept {
+    sum_ += v * weight;
+    weight_ += weight;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++n_;
+  }
+  double mean() const noexcept { return weight_ > 0 ? sum_ / weight_ : 0.0; }
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+  std::uint64_t samples() const noexcept { return n_; }
+  double total() const noexcept { return sum_; }
+  void reset() noexcept { *this = Sampled{}; }
+
+ private:
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+  std::uint64_t n_ = 0;
+};
+
+/// Fixed-bucket integer histogram; values >= bucket count land in the last
+/// (overflow) bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets) : buckets_(buckets + 1, 0) {
+    TDN_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+  }
+
+  void add(std::uint64_t v, std::uint64_t count = 1) noexcept {
+    const std::size_t idx = std::min<std::uint64_t>(v, buckets_.size() - 1);
+    buckets_[idx] += count;
+    total_ += count;
+    weighted_ += v * count;
+  }
+
+  std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+  std::size_t num_buckets() const noexcept { return buckets_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+  double mean() const noexcept {
+    return total_ > 0 ? static_cast<double>(weighted_) / static_cast<double>(total_)
+                      : 0.0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  std::uint64_t weighted_ = 0;
+};
+
+}  // namespace tdn::stats

@@ -1,0 +1,234 @@
+#include "system/tiled_system.hpp"
+
+#include <sstream>
+
+#include "common/prng.hpp"
+#include "common/require.hpp"
+
+namespace tdn::system {
+
+const char* to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::SNuca: return "S-NUCA";
+    case PolicyKind::RNuca: return "R-NUCA";
+    case PolicyKind::TdNuca: return "TD-NUCA";
+    case PolicyKind::TdNucaBypassOnly: return "TD-NUCA(bypass-only)";
+    case PolicyKind::TdNucaDryRun: return "TD-NUCA(dry-run)";
+  }
+  return "?";
+}
+
+std::uint64_t SystemConfig::fingerprint() const {
+  // Serialize every field that affects simulation results and hash it.
+  std::ostringstream os;
+  os << mesh_w << '/' << mesh_h << '/' << static_cast<int>(policy) << '/'
+     << static_cast<int>(scheduler) << '/' << hierarchy.l1.size_bytes << '/'
+     << hierarchy.l1.associativity << '/' << hierarchy.l1.line_size << '/'
+     << hierarchy.l1_latency << '/' << hierarchy.llc_bank.size_bytes << '/'
+     << hierarchy.llc_bank.associativity << '/' << hierarchy.llc_latency << '/'
+     << hierarchy.bank_service_interval << '/' << hierarchy.l1_mshrs << '/'
+     << hierarchy.flush_lines_per_cycle << '/' << hierarchy.mshr_retry_delay
+     << '/' << network.link_latency << '/' << network.router_latency << '/'
+     << network.link_bytes_per_cycle << '/' << network.control_bytes << '/'
+     << network.data_bytes << '/' << dram.access_latency << '/'
+     << dram.service_interval << '/' << num_memory_controllers << '/'
+     << page_table.page_size << '/' << page_table.fragmentation << '/'
+     << page_table.seed << '/' << tlb.entries << '/' << tlb.hit_latency << '/'
+     << tlb.miss_penalty << '/' << core.store_buffer_entries << '/'
+     << core.store_issue_cost << '/' << core.load_window << '/'
+     << core.load_issue_cost << '/' << runtime.dispatch_overhead << '/'
+     << runtime.per_dep_overhead << '/' << runtime.dispatch_jitter << '/'
+     << runtime.jitter_seed << '/' << tdnuca.rrt_entries << '/'
+     << tdnuca.rrt_latency << '/' << tdnuca.bypass_only << '/'
+     << rnuca.reclassification_penalty << '/' << rnuca.first_touch_penalty
+     << '/' << hooks.decision_overhead << '/' << hooks.isa.per_rrt_slot << '/'
+     << hooks.isa.issue_overhead << '/' << hooks.isa.flush_poll_overhead << '/'
+     << hooks.dry_run << '/' << hooks.line_size;
+  const std::string s = os.str();
+  return fnv1a64(s.data(), s.size());
+}
+
+TiledSystem::TiledSystem(SystemConfig cfg)
+    : cfg_(cfg), mesh_(cfg.mesh_w, cfg.mesh_h), page_table_(cfg.page_table) {
+  const unsigned n = cfg_.num_cores();
+  TDN_REQUIRE(n > 0, "system needs at least one tile");
+
+  net_ = std::make_unique<noc::Network>(mesh_, eq_, cfg_.network);
+
+  // Memory controllers attach along the top and bottom mesh edges (where
+  // the DDR PHYs sit on real tiled parts), alternating rows so traffic to
+  // memory spreads instead of concentrating on corner links.
+  std::vector<CoreId> mc_tiles;
+  std::vector<CoreId> edge_tiles;
+  for (unsigned x = 0; x < cfg_.mesh_w; ++x) {
+    edge_tiles.push_back(x);                                  // top row
+    edge_tiles.push_back((cfg_.mesh_h - 1) * cfg_.mesh_w + x);  // bottom row
+  }
+  for (unsigned i = 0; i < cfg_.num_memory_controllers; ++i)
+    mc_tiles.push_back(edge_tiles[i % edge_tiles.size()]);
+  mcs_ = std::make_unique<mem::MemControllers>(cfg_.num_memory_controllers,
+                                               mc_tiles, cfg_.dram);
+
+  // --- NUCA mapping policy ---------------------------------------------
+  switch (cfg_.policy) {
+    case PolicyKind::SNuca:
+      snuca_policy_ = std::make_unique<nuca::SNucaPolicy>(
+          n, cfg_.hierarchy.l1.line_size);
+      active_policy_ = snuca_policy_.get();
+      break;
+    case PolicyKind::RNuca:
+      rnuca_policy_ = std::make_unique<nuca::RNucaPolicy>(mesh_, n,
+                                                          page_table_,
+                                                          cfg_.rnuca);
+      active_policy_ = rnuca_policy_.get();
+      break;
+    case PolicyKind::TdNuca:
+    case PolicyKind::TdNucaBypassOnly: {
+      auto td_cfg = cfg_.tdnuca;
+      td_cfg.bypass_only = (cfg_.policy == PolicyKind::TdNucaBypassOnly);
+      tdnuca_policy_ =
+          std::make_unique<nuca::TdNucaPolicy>(mesh_, n, td_cfg);
+      active_policy_ = tdnuca_policy_.get();
+      break;
+    }
+    case PolicyKind::TdNucaDryRun:
+      // Bookkeeping runs (hooks below) but the hierarchy behaves as S-NUCA.
+      tdnuca_policy_ =
+          std::make_unique<nuca::TdNucaPolicy>(mesh_, n, cfg_.tdnuca);
+      snuca_policy_ = std::make_unique<nuca::SNucaPolicy>(
+          n, cfg_.hierarchy.l1.line_size);
+      active_policy_ = snuca_policy_.get();
+      break;
+  }
+
+  caches_ = std::make_unique<coherence::CoherentSystem>(
+      eq_, *net_, mesh_, *mcs_, *active_policy_, cfg_.hierarchy, n);
+  if (tdnuca_policy_ && active_policy_ != tdnuca_policy_.get()) {
+    // Dry-run: the TD policy object still needs CacheOps for completeness.
+    tdnuca_policy_->set_ops(caches_.get());
+  }
+
+  // --- cores -------------------------------------------------------------
+  cores_.reserve(n);
+  std::vector<core::SimCore*> core_ptrs;
+  std::vector<mem::Tlb*> tlbs;
+  for (unsigned i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<core::SimCore>(
+        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb));
+    core_ptrs.push_back(cores_.back().get());
+    tlbs.push_back(&cores_.back()->tlb());
+  }
+  if (rnuca_policy_) rnuca_policy_->set_tlbs(tlbs);
+
+  // --- runtime -------------------------------------------------------------
+  switch (cfg_.scheduler) {
+    case SchedulerKind::Fifo:
+      scheduler_ = std::make_unique<runtime::FifoScheduler>();
+      break;
+    case SchedulerKind::Affinity:
+      scheduler_ = std::make_unique<runtime::AffinityScheduler>();
+      break;
+  }
+  runtime::RuntimeHooks* hooks = nullptr;
+  if (cfg_.policy == PolicyKind::TdNuca ||
+      cfg_.policy == PolicyKind::TdNucaBypassOnly ||
+      cfg_.policy == PolicyKind::TdNucaDryRun) {
+    auto hooks_cfg = cfg_.hooks;
+    hooks_cfg.dry_run = (cfg_.policy == PolicyKind::TdNucaDryRun);
+    hooks_cfg.line_size = cfg_.hierarchy.l1.line_size;
+    hooks_td_ = std::make_unique<tdnuca::TdNucaRuntimeHooks>(
+        *tdnuca_policy_, page_table_, n, hooks_cfg);
+    hooks = hooks_td_.get();
+  } else {
+    hooks_base_ = std::make_unique<runtime::RuntimeHooks>();
+    hooks = hooks_base_.get();
+  }
+  runtime_ = std::make_unique<runtime::RuntimeSystem>(
+      eq_, core_ptrs, *scheduler_, *hooks, cfg_.runtime);
+  if (hooks_td_) hooks_td_->set_runtime(runtime_.get());
+  if (auto* aff = dynamic_cast<runtime::AffinityScheduler*>(scheduler_.get()))
+    aff->set_tasks(&runtime_->tasks());
+}
+
+TiledSystem::~TiledSystem() = default;
+
+Cycle TiledSystem::run(Cycle cycle_limit) {
+  completed_ = false;
+  runtime_->run([this] { completed_ = true; });
+  eq_.run_until(cycle_limit);
+  TDN_REQUIRE(completed_, "simulation drained without completing all tasks");
+  return runtime_->makespan();
+}
+
+energy::EnergyBreakdown TiledSystem::energy(
+    const energy::EnergyParams& params) const {
+  std::uint64_t rrt_lookups = 0;
+  if (tdnuca_policy_ && cfg_.policy != PolicyKind::TdNucaDryRun) {
+    rrt_lookups = tdnuca_policy_->rrt_hits() + tdnuca_policy_->rrt_misses();
+  }
+  return energy::compute_energy(*caches_, *net_, *mcs_, rrt_lookups, params);
+}
+
+stats::Registry TiledSystem::collect_stats() const {
+  stats::Registry r;
+  const auto& cs = caches_->stats();
+  r.set("sim.cycles", static_cast<double>(runtime_->makespan()));
+  r.set("sim.events", static_cast<double>(eq_.executed()));
+  r.set("tasks.completed", static_cast<double>(runtime_->tasks_completed()));
+  r.set("l1.hits", static_cast<double>(cs.l1_hits.value()));
+  r.set("l1.misses", static_cast<double>(cs.l1_misses.value()));
+  r.set("llc.requests", static_cast<double>(cs.llc_requests.value()));
+  r.set("llc.hits", static_cast<double>(cs.llc_hits.value()));
+  r.set("llc.misses", static_cast<double>(cs.llc_misses.value()));
+  r.set("llc.writebacks", static_cast<double>(cs.llc_writebacks.value()));
+  r.set("llc.accesses", static_cast<double>(caches_->llc_accesses()));
+  r.set("llc.hit_ratio", caches_->llc_hit_ratio());
+  r.set("llc.bypass_reads", static_cast<double>(cs.bypass_reads.value()));
+  r.set("nuca.mean_distance", cs.nuca_distance.mean());
+  r.set("l1.mean_miss_latency", cs.miss_latency.mean());
+  r.set("noc.router_bytes", static_cast<double>(net_->total_router_bytes()));
+  r.set("noc.messages", static_cast<double>(net_->messages()));
+  r.set("dram.accesses", static_cast<double>(mcs_->total_accesses()));
+  const auto e = energy(energy::EnergyParams{});
+  r.set("energy.llc_pj", e.llc_pj);
+  r.set("energy.noc_pj", e.noc_pj);
+  r.set("energy.dram_pj", e.dram_pj);
+  r.set("energy.total_pj", e.total_pj());
+  std::uint64_t tlb_hits = 0;
+  std::uint64_t tlb_misses = 0;
+  Cycle flush_cycles = 0;
+  for (const auto& c : cores_) {
+    tlb_hits += c->tlb().hits();
+    tlb_misses += c->tlb().misses();
+    flush_cycles += caches_->flush_busy_cycles(c->id());
+  }
+  r.set("tlb.hits", static_cast<double>(tlb_hits));
+  r.set("tlb.misses", static_cast<double>(tlb_misses));
+  r.set("flush.busy_cycles", static_cast<double>(flush_cycles));
+  if (tdnuca_policy_) {
+    r.set("rrt.mean_occupancy", tdnuca_policy_->mean_rrt_occupancy());
+    r.set("rrt.max_occupancy",
+          static_cast<double>(tdnuca_policy_->max_rrt_occupancy()));
+    r.set("rrt.lookups", static_cast<double>(tdnuca_policy_->rrt_hits() +
+                                             tdnuca_policy_->rrt_misses()));
+  }
+  if (hooks_td_) {
+    r.set("tdnuca.bypass_placements",
+          static_cast<double>(hooks_td_->bypass_placements()));
+    r.set("tdnuca.local_placements",
+          static_cast<double>(hooks_td_->local_placements()));
+    r.set("tdnuca.replicated_placements",
+          static_cast<double>(hooks_td_->replicated_placements()));
+    r.set("tdnuca.runtime_overhead_cycles",
+          static_cast<double>(hooks_td_->runtime_overhead_cycles()));
+  }
+  if (rnuca_policy_) {
+    const auto c = rnuca_policy_->census();
+    r.set("rnuca.private_pages", static_cast<double>(c.private_pages));
+    r.set("rnuca.shared_ro_pages", static_cast<double>(c.shared_ro_pages));
+    r.set("rnuca.shared_pages", static_cast<double>(c.shared_pages));
+  }
+  return r;
+}
+
+}  // namespace tdn::system

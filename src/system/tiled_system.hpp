@@ -1,0 +1,95 @@
+// TiledSystem — builds and owns one complete simulated machine: the mesh,
+// NoC, memory controllers, page table, NUCA policy, coherent cache
+// hierarchy, timing cores, and the task dataflow runtime, wired per the
+// selected PolicyKind. This is the top-level object workloads and the
+// benchmark harness interact with.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coherence/coherent_system.hpp"
+#include "core/sim_core.hpp"
+#include "energy/energy_model.hpp"
+#include "mem/address_space.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "nuca/rnuca.hpp"
+#include "nuca/snuca.hpp"
+#include "nuca/tdnuca_policy.hpp"
+#include "runtime/runtime_system.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/registry.hpp"
+#include "system/config.hpp"
+#include "tdnuca/runtime_hooks.hpp"
+
+namespace tdn::system {
+
+class TiledSystem {
+ public:
+  explicit TiledSystem(SystemConfig cfg);
+  ~TiledSystem();
+  TiledSystem(const TiledSystem&) = delete;
+  TiledSystem& operator=(const TiledSystem&) = delete;
+
+  const SystemConfig& config() const noexcept { return cfg_; }
+
+  // --- the pieces workloads need ---------------------------------------
+  mem::VirtualSpace& vspace() noexcept { return vspace_; }
+  runtime::RuntimeSystem& runtime() noexcept { return *runtime_; }
+
+  // --- execution --------------------------------------------------------
+  /// Run the created task graph to completion; returns the makespan cycle.
+  /// @p cycle_limit guards against protocol deadlock in tests.
+  Cycle run(Cycle cycle_limit = kNeverCycle);
+  bool completed() const noexcept { return completed_; }
+
+  // --- component access (stats, tests) ----------------------------------
+  sim::EventQueue& events() noexcept { return eq_; }
+  const noc::Mesh& mesh() const noexcept { return mesh_; }
+  noc::Network& network() noexcept { return *net_; }
+  coherence::CoherentSystem& caches() noexcept { return *caches_; }
+  mem::MemControllers& mcs() noexcept { return *mcs_; }
+  mem::PageTable& page_table() noexcept { return page_table_; }
+  core::SimCore& core(CoreId id) { return *cores_.at(id); }
+
+  /// Non-null only for the matching PolicyKind.
+  nuca::TdNucaPolicy* tdnuca_policy() noexcept { return tdnuca_policy_.get(); }
+  nuca::RNucaPolicy* rnuca_policy() noexcept { return rnuca_policy_.get(); }
+  tdnuca::TdNucaRuntimeHooks* tdnuca_hooks() noexcept { return hooks_td_.get(); }
+
+  energy::EnergyBreakdown energy(
+      const energy::EnergyParams& params = {}) const;
+
+  /// Export the run's headline statistics into a registry.
+  stats::Registry collect_stats() const;
+
+ private:
+  SystemConfig cfg_;
+  sim::EventQueue eq_;
+  noc::Mesh mesh_;
+  mem::VirtualSpace vspace_;
+  mem::PageTable page_table_;
+  std::unique_ptr<noc::Network> net_;
+  std::unique_ptr<mem::MemControllers> mcs_;
+
+  std::unique_ptr<nuca::SNucaPolicy> snuca_policy_;
+  std::unique_ptr<nuca::RNucaPolicy> rnuca_policy_;
+  std::unique_ptr<nuca::TdNucaPolicy> tdnuca_policy_;
+  nuca::MappingPolicy* active_policy_ = nullptr;
+
+  std::unique_ptr<coherence::CoherentSystem> caches_;
+  std::vector<std::unique_ptr<core::SimCore>> cores_;
+
+  std::unique_ptr<runtime::Scheduler> scheduler_;
+  std::unique_ptr<runtime::RuntimeHooks> hooks_base_;
+  std::unique_ptr<tdnuca::TdNucaRuntimeHooks> hooks_td_;
+  std::unique_ptr<runtime::RuntimeSystem> runtime_;
+
+  bool completed_ = false;
+};
+
+}  // namespace tdn::system

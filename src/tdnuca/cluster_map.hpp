@@ -1,0 +1,70 @@
+// LLC Cluster Replication geometry (paper Sec. III): the chip is divided
+// into quadrants — 4 clusters of 4 tiles on the 4x4 mesh. A replicated
+// read-only dependency maps once per cluster; within a cluster its blocks
+// are address-interleaved across the 4 banks, selected by the low block
+// address bits ("the last two bits of the block address").
+#pragma once
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/tile_mask.hpp"
+#include "noc/mesh.hpp"
+
+namespace tdn::tdnuca {
+
+class ClusterMap {
+ public:
+  explicit ClusterMap(const noc::Mesh& mesh, unsigned cluster_w = 2,
+                      unsigned cluster_h = 2)
+      : mesh_(&mesh), cw_(cluster_w), ch_(cluster_h) {
+    TDN_REQUIRE(mesh.width() % cluster_w == 0 && mesh.height() % cluster_h == 0,
+                "clusters must tile the mesh exactly");
+    const unsigned n = num_clusters();
+    banks_.resize(n);
+    for (unsigned c = 0; c < n; ++c) banks_[c] = mesh.cluster_tiles(c, cw_, ch_);
+  }
+
+  unsigned num_clusters() const {
+    return (mesh_->width() / cw_) * (mesh_->height() / ch_);
+  }
+  unsigned cluster_size() const { return cw_ * ch_; }
+
+  unsigned cluster_of(CoreId tile) const {
+    return mesh_->cluster_of(tile, cw_, ch_);
+  }
+
+  const std::vector<CoreId>& banks_of(unsigned cluster) const {
+    return banks_.at(cluster);
+  }
+
+  BankMask mask_of(unsigned cluster) const {
+    BankMask m;
+    for (CoreId b : banks_.at(cluster)) m.set(b);
+    return m;
+  }
+
+  /// Bank serving @p line_addr inside @p cluster (address-interleaved).
+  BankId bank_for(unsigned cluster, Addr line_addr,
+                  unsigned line_size = 64) const {
+    const auto& banks = banks_.at(cluster);
+    return banks[(line_addr / line_size) % banks.size()];
+  }
+
+  /// Same interleave, but given a BankMask (as the hardware does: the RRT
+  /// entry carries only the mask).
+  static BankId bank_for_mask(BankMask mask, Addr line_addr,
+                              unsigned line_size = 64) {
+    const int n = mask.count();
+    TDN_ASSERT(n > 0);
+    return mask.nth_bit(static_cast<int>((line_addr / line_size) % n));
+  }
+
+ private:
+  const noc::Mesh* mesh_;
+  unsigned cw_;
+  unsigned ch_;
+  std::vector<std::vector<CoreId>> banks_;
+};
+
+}  // namespace tdn::tdnuca

@@ -1,0 +1,39 @@
+#include "tdnuca/rrt.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace tdn::tdnuca {
+
+bool Rrt::register_range(const AddrRange& prange, BankMask mask) {
+  TDN_REQUIRE(!prange.empty(), "RRT ranges must be non-empty");
+  if (entries_.size() >= capacity_) {
+    overflow_.inc();
+    return false;
+  }
+  entries_.push_back(RrtEntry{prange, mask});
+  max_occupancy_ = std::max<unsigned>(max_occupancy_,
+                                      static_cast<unsigned>(entries_.size()));
+  return true;
+}
+
+unsigned Rrt::invalidate_range(const AddrRange& prange) {
+  const auto old = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const RrtEntry& e) {
+                                  return e.prange.overlaps(prange);
+                                }),
+                 entries_.end());
+  return static_cast<unsigned>(old - entries_.size());
+}
+
+std::optional<RrtEntry> Rrt::lookup(Addr paddr) const {
+  lookups_.inc();
+  for (const RrtEntry& e : entries_) {
+    if (e.prange.contains(paddr)) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tdn::tdnuca

@@ -1,0 +1,62 @@
+// Runtime Region Table (paper Sec. III-B1) — the per-core hardware structure
+// mapping physical address ranges of task dependencies to LLC BankMasks.
+//
+//  * 64 entries by default; range lookups (TCAM-style) at a configurable
+//    latency (Sec. V-E sweeps 0–4 cycles).
+//  * No replacement policy: when full, further ranges are simply not
+//    registered and fall back to S-NUCA interleaving (Sec. III-B2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/tile_mask.hpp"
+#include "common/types.hpp"
+#include "stats/counters.hpp"
+
+namespace tdn::tdnuca {
+
+struct RrtEntry {
+  AddrRange prange;  ///< physical, line-aligned
+  BankMask mask;     ///< 0 bits: bypass; 1 bit: single bank; 4 bits: cluster
+};
+
+class Rrt {
+ public:
+  explicit Rrt(unsigned capacity = 64, Cycle lookup_latency = 1)
+      : capacity_(capacity), latency_(lookup_latency) {}
+
+  /// Register a physical range. Returns false (and registers nothing) when
+  /// the table is full — the range then falls back to S-NUCA mapping.
+  bool register_range(const AddrRange& prange, BankMask mask);
+
+  /// Remove every entry overlapping @p prange. Returns entries removed.
+  unsigned invalidate_range(const AddrRange& prange);
+
+  /// Range lookup for one physical address; nullopt on miss.
+  std::optional<RrtEntry> lookup(Addr paddr) const;
+
+  Cycle lookup_latency() const noexcept { return latency_; }
+  unsigned size() const noexcept { return static_cast<unsigned>(entries_.size()); }
+  unsigned capacity() const noexcept { return capacity_; }
+
+  // --- occupancy statistics (Sec. V-E) --------------------------------
+  unsigned max_occupancy() const noexcept { return max_occupancy_; }
+  std::uint64_t lookups() const noexcept { return lookups_.value(); }
+  std::uint64_t overflows() const noexcept { return overflow_.value(); }
+  /// Sample current occupancy into an external aggregate.
+  void sample_occupancy(stats::Sampled& agg) const {
+    agg.add(static_cast<double>(entries_.size()));
+  }
+
+ private:
+  unsigned capacity_;
+  Cycle latency_;
+  std::vector<RrtEntry> entries_;
+  unsigned max_occupancy_ = 0;
+  mutable stats::Counter lookups_;
+  stats::Counter overflow_;
+};
+
+}  // namespace tdn::tdnuca

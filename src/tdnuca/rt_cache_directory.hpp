@@ -1,0 +1,71 @@
+// RTCacheDirectory (paper Sec. III-C1) — the runtime-system software
+// structure with one entry per task dependency:
+//   * start address and size (from the Dependency record),
+//   * MapMask: which LLC banks the dependency is currently mapped to,
+//   * UseDesc: how many created-but-not-yet-executing tasks still use the
+//     dependency. It is incremented when a task using the dependency is
+//     created and decremented when that task starts to execute; when it
+//     reaches zero at placement time the dependency is "predicted NotReused"
+//     and bypasses the LLC. Reuse is keyed on exact region identity, so a
+//     region that is only ever named by one task (e.g. per-task halo spans)
+//     immediately predicts as not-reused — this is what makes the predictor
+//     so effective on streaming stencils (paper Fig. 3 / Sec. V-D).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/tile_mask.hpp"
+#include "common/types.hpp"
+
+namespace tdn::tdnuca {
+
+/// Current LLC placement of a dependency.
+enum class Placement : std::uint8_t { Unmapped, Bypass, LocalBank, Replicated };
+
+struct DirEntry {
+  AddrRange vrange;  ///< virtual range (start address + size)
+  BankMask map_mask; ///< LLC banks currently holding the dependency
+  std::int64_t use_desc = 0;
+  Placement placement = Placement::Unmapped;
+  CoreId local_owner = kInvalidCore;  ///< core for LocalBank placement
+  /// Cores whose RRT currently holds this dependency's replicated mapping
+  /// (software bookkeeping that lets the runtime skip redundant
+  /// tdnuca_register instructions for already-registered readers).
+  CoreMask rrt_cores;
+
+  // Lifetime usage flags, for the Fig. 3 dependency-type classification.
+  bool ever_in = false;
+  bool ever_out = false;
+  /// A placement decision ever saw UseDesc == 0 ("predicted NotReused").
+  bool ever_predicted_dead = false;
+  /// The dependency ever actually bypassed the LLC.
+  bool ever_bypassed = false;
+  /// Some decision saw UseDesc > 0: the dependency is visibly reused across
+  /// tasks. Such data is never bypassed even when its last use arrives
+  /// (UseDesc == 0): it is hot — resident in the LLC or its replicas — and
+  /// routing its final reads to DRAM would refetch resident lines. The
+  /// prediction is still recorded for the Fig. 3 classification.
+  bool seen_visible_reuse = false;
+};
+
+class RtCacheDirectory {
+ public:
+  DirEntry& entry(DepId dep, const AddrRange& vrange) {
+    auto [it, inserted] = entries_.try_emplace(dep);
+    if (inserted) it->second.vrange = vrange;
+    return it->second;
+  }
+  const DirEntry* find(DepId dep) const {
+    auto it = entries_.find(dep);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  const std::unordered_map<DepId, DirEntry>& all() const { return entries_; }
+  std::unordered_map<DepId, DirEntry>& mutable_all() { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_map<DepId, DirEntry> entries_;
+};
+
+}  // namespace tdn::tdnuca

@@ -1,0 +1,326 @@
+#include "tdnuca/runtime_hooks.hpp"
+
+#include "common/require.hpp"
+#include "core/sim_core.hpp"
+#include "sim/joiner.hpp"
+
+namespace tdn::tdnuca {
+
+TdNucaRuntimeHooks::TdNucaRuntimeHooks(nuca::TdNucaPolicy& policy,
+                                       mem::PageTable& pt, unsigned num_tiles,
+                                       HooksConfig cfg)
+    : policy_(policy), pt_(pt), num_tiles_(num_tiles), cfg_(cfg) {}
+
+void TdNucaRuntimeHooks::on_task_created(const runtime::Task& task) {
+  TDN_REQUIRE(rts_ != nullptr, "set_runtime() must be called first");
+  // UseDesc: one increment per use of the dependency by a created task.
+  for (const runtime::DepAccess& a : task.deps) {
+    DirEntry& e = dir_.entry(a.dep, rts_->dep(a.dep).vrange);
+    ++e.use_desc;
+  }
+}
+
+TdNucaRuntimeHooks::Translated TdNucaRuntimeHooks::translate_dep(
+    const AddrRange& vrange, core::SimCore& core) {
+  Translated out;
+  // Alignment rule (paper Sec. III-D): only blocks entirely inside the
+  // dependency are managed; partial first/last blocks fall back to S-NUCA.
+  const AddrRange eff{align_up(vrange.begin, cfg_.line_size),
+                      align_down(vrange.end, cfg_.line_size)};
+  if (eff.empty()) return out;
+  auto tr = pt_.translate_range(eff);
+  out.pieces = std::move(tr.physical_pieces);
+  out.pages = tr.pages_walked;
+  // The iterative translation performs one TLB access per page of the range
+  // (paper Fig. 5); misses pay the page-walk penalty through the TLB model.
+  const Addr ps = pt_.page_size();
+  for (Addr va = align_down(eff.begin, ps); va < eff.end; va += ps)
+    out.tlb_cycles += core.tlb().access(va);
+  return out;
+}
+
+void TdNucaRuntimeHooks::flush_finished(DepId dep) {
+  auto it = sync_.find(dep);
+  TDN_ASSERT(it != sync_.end() && it->second.pending > 0);
+  if (--it->second.pending == 0) {
+    auto waiters = std::move(it->second.waiters);
+    it->second.waiters.clear();
+    for (auto& w : waiters) w();
+  }
+}
+
+void TdNucaRuntimeHooks::when_clean(
+    const std::vector<runtime::DepAccess>& deps, std::function<void()> fn) {
+  for (const auto& a : deps) {
+    auto it = sync_.find(a.dep);
+    if (it != sync_.end() && it->second.pending > 0) {
+      // Poll again once this dependency's flushes drain; re-check the rest.
+      it->second.waiters.push_back(
+          [this, &deps, fn = std::move(fn)]() mutable {
+            when_clean(deps, std::move(fn));
+          });
+      return;
+    }
+  }
+  fn();
+}
+
+void TdNucaRuntimeHooks::before_task(runtime::Task& task, core::SimCore& core,
+                                     std::function<void()> done) {
+  TDN_REQUIRE(rts_ != nullptr, "set_runtime() must be called first");
+  // The runtime polls the flush-completion register for any in-flight flush
+  // of this task's dependencies before re-registering them.
+  when_clean(task.deps,
+             [this, &task, &core, done = std::move(done)]() mutable {
+               before_task_clean(task, core, std::move(done));
+             });
+}
+
+void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
+                                           core::SimCore& core,
+                                           std::function<void()> done) {
+  const CoreId cid = core.id();
+  const bool bypass_only = policy_.config().bypass_only;
+  nuca::CacheOps* ops = policy_.ops();
+  TDN_REQUIRE(cfg_.dry_run || ops != nullptr,
+              "policy must be wired to a cache system");
+
+  Cycle cycles = cfg_.decision_overhead * task.deps.size();
+  auto join = sim::make_joiner(std::move(done));
+  std::vector<PlacedDep> placed;
+  placed.reserve(task.deps.size());
+
+  for (const runtime::DepAccess& a : task.deps) {
+    const runtime::Dependency& d = rts_->dep(a.dep);
+    DirEntry& e = dir_.entry(a.dep, d.vrange);
+    TDN_ASSERT(e.use_desc > 0);
+    --e.use_desc;  // this task starts executing now
+    if (a.reads()) e.ever_in = true;
+    if (a.writes()) e.ever_out = true;
+
+    // --- Fig. 7 placement decision ------------------------------------
+    // UseDesc == 0 predicts the data is not reused by any visible task.
+    // Bypass applies only when the dependency was never visibly reused:
+    // reused data is LLC-resident (locally mapped or replicated), and
+    // sending its final use to memory would refetch resident lines from
+    // DRAM (see DirEntry::seen_visible_reuse).
+    const bool predicted_dead = (e.use_desc == 0);
+    if (predicted_dead) e.ever_predicted_dead = true;
+    else e.seen_visible_reuse = true;
+    Placement p;
+    if (predicted_dead && !e.seen_visible_reuse) p = Placement::Bypass;
+    else if (a.writes()) p = Placement::LocalBank;
+    else p = Placement::Replicated;
+    if (bypass_only && p != Placement::Bypass) p = Placement::Unmapped;
+
+    // --- lazy read-only invalidation (Sec. III-C2) ---------------------
+    // A replicated dependency that is about to be written must first be
+    // invalidated from every cache and every RRT. Overlapping dependencies
+    // (finer-grained halo regions carved out of a larger block) transition
+    // together: writing the block also kills its halo's replicas.
+    auto invalidate_replicas = [&](DirEntry& re) {
+      n_transitions_.inc();
+      Translated tr = translate_dep(re.vrange, core);
+      cycles += isa_invalidate_cost(cfg_.isa, tr.tlb_cycles,
+                                    static_cast<unsigned>(tr.pieces.size())) +
+                isa_flush_issue_cost(cfg_.isa, 0);
+      const CoreMask all_cores = CoreMask::first_n(num_tiles_);
+      for (const AddrRange& piece : tr.pieces) {
+        for (unsigned c = 0; c < num_tiles_; ++c)
+          policy_.rrt(c).invalidate_range(piece);
+        join->add();
+        ops->flush_llc_range(re.map_mask, piece, [join] { join->complete(); });
+        join->add();
+        ops->flush_l1_range(all_cores, piece, [join] { join->complete(); });
+      }
+      re.map_mask = BankMask::none();
+      re.rrt_cores = CoreMask::none();
+      re.placement = Placement::Unmapped;
+    };
+    if (!cfg_.dry_run && a.writes()) {
+      if (e.placement == Placement::Replicated) invalidate_replicas(e);
+      for (auto& [other_id, other] : dir_.mutable_all()) {
+        if (other_id == a.dep) continue;
+        if (other.placement == Placement::Replicated &&
+            other.vrange.overlaps(d.vrange)) {
+          invalidate_replicas(other);
+        }
+      }
+    }
+
+    // --- register the new mapping --------------------------------------
+    PlacedDep pd{a.dep, p, BankMask::none(), {}, 0};
+    switch (p) {
+      case Placement::Bypass: {
+        n_bypass_.inc();
+        e.ever_bypassed = true;
+        pd.mask = BankMask::none();
+        if (!cfg_.dry_run) {
+          // A dependency leaving the Replicated state with no future users:
+          // clear the stale replicated RRT entries of past readers so dead
+          // mappings do not pin RRT capacity (its cached replicas are clean
+          // and age out naturally). This keeps occupancy in the paper's
+          // observed range on reuse-heavy workloads.
+          if (e.placement == Placement::Replicated && !e.rrt_cores.empty()) {
+            Translated tr_old = translate_dep(d.vrange, core);
+            cycles += isa_invalidate_cost(
+                cfg_.isa, tr_old.tlb_cycles,
+                static_cast<unsigned>(tr_old.pieces.size()));
+            e.rrt_cores.for_each([&](CoreId c) {
+              for (const AddrRange& piece : tr_old.pieces)
+                policy_.rrt(c).invalidate_range(piece);
+            });
+            e.rrt_cores = CoreMask::none();
+          }
+          Translated tr = translate_dep(d.vrange, core);
+          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                      static_cast<unsigned>(tr.pieces.size()));
+          for (const AddrRange& piece : tr.pieces)
+            policy_.rrt(cid).register_range(piece, BankMask::none());
+          pd.pieces = std::move(tr.pieces);
+          pd.pages = tr.pages;
+        }
+        e.placement = Placement::Bypass;
+        e.map_mask = BankMask::none();
+        e.local_owner = cid;
+        break;
+      }
+      case Placement::LocalBank: {
+        n_local_.inc();
+        pd.mask = BankMask::single(cid);
+        if (!cfg_.dry_run) {
+          Translated tr = translate_dep(d.vrange, core);
+          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                      static_cast<unsigned>(tr.pieces.size()));
+          for (const AddrRange& piece : tr.pieces)
+            policy_.rrt(cid).register_range(piece, pd.mask);
+          pd.pieces = std::move(tr.pieces);
+          pd.pages = tr.pages;
+        }
+        e.placement = Placement::LocalBank;
+        e.map_mask = pd.mask;
+        e.local_owner = cid;
+        break;
+      }
+      case Placement::Replicated: {
+        n_replicated_.inc();
+        const unsigned cluster = policy_.clusters().cluster_of(cid);
+        pd.mask = policy_.clusters().mask_of(cluster);
+        if (!cfg_.dry_run && !e.rrt_cores.test(cid)) {
+          // First task on this core to read the dependency: register the
+          // cluster mapping in this core's RRT. Later readers on the same
+          // core reuse the entry (it stays resident until invalidated).
+          Translated tr = translate_dep(d.vrange, core);
+          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                      static_cast<unsigned>(tr.pieces.size()));
+          for (const AddrRange& piece : tr.pieces)
+            policy_.rrt(cid).register_range(piece, pd.mask);
+          e.rrt_cores.set(cid);
+        }
+        e.placement = Placement::Replicated;
+        e.map_mask |= pd.mask;
+        break;
+      }
+      case Placement::Unmapped:
+        break;  // bypass-only variant: fall back to S-NUCA interleaving
+    }
+    placed.push_back(std::move(pd));
+  }
+
+  active_[task.id] = std::move(placed);
+  overhead_cycles_ += cycles;
+  join->add();
+  core.busy(cycles, [join] { join->complete(); });
+  join->arm();
+}
+
+void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
+                                    std::function<void()> done) {
+  const CoreId cid = core.id();
+  nuca::CacheOps* ops = policy_.ops();
+  auto it = active_.find(task.id);
+  TDN_ASSERT(it != active_.end());
+
+  Cycle cycles = 0;
+  auto join = sim::make_joiner(std::move(done));
+  for (PlacedDep& pd : it->second) {
+    DirEntry& e = dir_.entry(pd.dep, rts_->dep(pd.dep).vrange);
+    // The flushes below drain in the background: the core pays only the
+    // instruction issue cost here, and the next task that names the same
+    // dependency polls the completion register (when_clean) before
+    // re-registering it.
+    switch (pd.placement) {
+      case Placement::Bypass: {
+        // Flush the dependency from this core's L1 and clear the RRT entry
+        // (Fig. 7, "LLC Bypass" end-of-task actions).
+        if (!cfg_.dry_run) {
+          cycles += isa_flush_issue_cost(cfg_.isa, pd.pages) +
+                    isa_invalidate_cost(cfg_.isa, pd.pages,
+                                        static_cast<unsigned>(pd.pieces.size()));
+          for (const AddrRange& piece : pd.pieces) {
+            policy_.rrt(cid).invalidate_range(piece);
+            flush_started(pd.dep);
+            ops->flush_l1_range(CoreMask::single(cid), piece,
+                                [this, dep = pd.dep] { flush_finished(dep); });
+          }
+        }
+        if (e.placement == Placement::Bypass && e.local_owner == cid)
+          e.placement = Placement::Unmapped;
+        break;
+      }
+      case Placement::LocalBank: {
+        // Flush from the mapped LLC bank and this core's private cache,
+        // then clear the RRT entry.
+        if (!cfg_.dry_run) {
+          cycles += isa_flush_issue_cost(cfg_.isa, pd.pages) +
+                    isa_invalidate_cost(cfg_.isa, pd.pages,
+                                        static_cast<unsigned>(pd.pieces.size()));
+          for (const AddrRange& piece : pd.pieces) {
+            policy_.rrt(cid).invalidate_range(piece);
+            flush_started(pd.dep);
+            ops->flush_l1_range(CoreMask::single(cid), piece,
+                                [this, dep = pd.dep] { flush_finished(dep); });
+            flush_started(pd.dep);
+            ops->flush_llc_range(pd.mask, piece,
+                                 [this, dep = pd.dep] { flush_finished(dep); });
+          }
+        }
+        if (e.placement == Placement::LocalBank && e.local_owner == cid) {
+          e.placement = Placement::Unmapped;
+          e.map_mask = BankMask::none();
+        }
+        break;
+      }
+      case Placement::Replicated: {
+        // Replicated mappings persist for future readers; but once the last
+        // visible reader has finished (UseDesc == 0), the RRT entries are
+        // dead weight — clear them everywhere so the no-replacement RRTs
+        // don't fill up with stale mappings. The cached replicas stay (they
+        // are clean and age out; a later write still sees the Replicated
+        // placement and triggers the full invalidation).
+        if (!cfg_.dry_run && e.use_desc == 0 &&
+            e.placement == Placement::Replicated && !e.rrt_cores.empty()) {
+          cycles += isa_invalidate_cost(
+              cfg_.isa, pd.pages,
+              static_cast<unsigned>(pd.pieces.size()));
+          Translated tr = translate_dep(rts_->dep(pd.dep).vrange, core);
+          e.rrt_cores.for_each([&](CoreId c) {
+            for (const AddrRange& piece : tr.pieces)
+              policy_.rrt(c).invalidate_range(piece);
+          });
+          e.rrt_cores = CoreMask::none();
+        }
+        break;
+      }
+      case Placement::Unmapped:
+        break;
+    }
+  }
+  active_.erase(it);
+  overhead_cycles_ += cycles;
+  join->add();
+  core.busy(cycles, [join] { join->complete(); });
+  join->arm();
+}
+
+}  // namespace tdn::tdnuca

@@ -1,0 +1,129 @@
+// TdNucaRuntimeHooks — the runtime-system side of TD-NUCA (paper Sec. III-C).
+//
+// After the scheduler binds a task to a core and before the task executes,
+// the hooks walk its dependencies, decrement their UseDesc, and decide the
+// placement per the Fig. 7 flowchart:
+//
+//     UseDesc == 0            -> LLC Bypass        (BankMask = 0 bits)
+//     out / inout             -> Local LLC bank    (BankMask = 1 bit)
+//     otherwise (reused in)   -> Cluster Replicated(BankMask = 4 bits)
+//
+// and communicate it to the hardware with tdnuca_register (charged to the
+// core, including the iterative VA->PA translation through the TLB). On task
+// end, Bypass and Local placements are eagerly flushed and de-registered;
+// Replicated mappings stay for future readers and are lazily invalidated
+// everywhere when the dependency transitions from read-only to written.
+//
+// The `bypass_only` variant (Fig. 15) applies only the Bypass placement.
+// The `dry_run` variant (Sec. V-E runtime-overhead study) performs all the
+// bookkeeping and decisions but never executes the ISA instructions, so the
+// cache hierarchy behaves exactly as the underlying policy (S-NUCA).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/page_table.hpp"
+#include "nuca/tdnuca_policy.hpp"
+#include "runtime/hooks.hpp"
+#include "runtime/runtime_system.hpp"
+#include "stats/counters.hpp"
+#include "tdnuca/isa.hpp"
+#include "tdnuca/rt_cache_directory.hpp"
+
+namespace tdn::tdnuca {
+
+struct HooksConfig {
+  /// Decision-algorithm cycles per dependency (RTCacheDirectory lookup +
+  /// placement choice) — the paper's "biggest source of overhead".
+  Cycle decision_overhead = 40;
+  IsaCostConfig isa{};
+  /// Sec. V-E study: bookkeeping without ISA instructions.
+  bool dry_run = false;
+  unsigned line_size = 64;
+};
+
+class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
+ public:
+  TdNucaRuntimeHooks(nuca::TdNucaPolicy& policy, mem::PageTable& pt,
+                     unsigned num_tiles, HooksConfig cfg = {});
+
+  /// Wire the runtime (needed to resolve DepIds); must be called before the
+  /// first task is created.
+  void set_runtime(runtime::RuntimeSystem* rts) { rts_ = rts; }
+
+  void on_task_created(const runtime::Task& task) override;
+  void before_task(runtime::Task& task, core::SimCore& core,
+                   std::function<void()> done) override;
+  void after_task(runtime::Task& task, core::SimCore& core,
+                  std::function<void()> done) override;
+
+ private:
+  void before_task_clean(runtime::Task& task, core::SimCore& core,
+                         std::function<void()> done);
+
+ public:
+
+  const RtCacheDirectory& directory() const noexcept { return dir_; }
+
+  // --- statistics ------------------------------------------------------
+  std::uint64_t bypass_placements() const noexcept { return n_bypass_.value(); }
+  std::uint64_t local_placements() const noexcept { return n_local_.value(); }
+  std::uint64_t replicated_placements() const noexcept {
+    return n_replicated_.value();
+  }
+  std::uint64_t ro_rw_transitions() const noexcept {
+    return n_transitions_.value();
+  }
+  Cycle runtime_overhead_cycles() const noexcept { return overhead_cycles_; }
+
+ private:
+  struct Translated {
+    std::vector<AddrRange> pieces;
+    Cycle tlb_cycles = 0;
+    std::uint64_t pages = 0;
+  };
+  Translated translate_dep(const AddrRange& vrange, core::SimCore& core);
+
+  struct PlacedDep {
+    DepId dep;
+    Placement placement;
+    BankMask mask;
+    std::vector<AddrRange> pieces;
+    std::uint64_t pages = 0;
+  };
+
+  /// End-of-task flushes drain asynchronously: the core moves on after the
+  /// issue cost, and only a *future task touching the same dependency* must
+  /// wait for completion (the runtime polls the flush-completion register
+  /// right before re-registering the region). DepSync tracks in-flight
+  /// flushes per dependency and queues those waiters.
+  struct DepSync {
+    unsigned pending = 0;
+    std::vector<std::function<void()>> waiters;
+  };
+  void flush_started(DepId dep) { ++sync_[dep].pending; }
+  void flush_finished(DepId dep);
+  /// Run @p fn once no flush is in flight for any of @p deps.
+  void when_clean(const std::vector<runtime::DepAccess>& deps,
+                  std::function<void()> fn);
+
+  nuca::TdNucaPolicy& policy_;
+  mem::PageTable& pt_;
+  unsigned num_tiles_;
+  HooksConfig cfg_;
+  runtime::RuntimeSystem* rts_ = nullptr;
+  RtCacheDirectory dir_;
+  std::unordered_map<TaskId, std::vector<PlacedDep>> active_;
+  std::unordered_map<DepId, DepSync> sync_;
+
+  stats::Counter n_bypass_;
+  stats::Counter n_local_;
+  stats::Counter n_replicated_;
+  stats::Counter n_transitions_;
+  Cycle overhead_cycles_ = 0;
+};
+
+}  // namespace tdn::tdnuca

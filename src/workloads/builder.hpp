@@ -1,0 +1,86 @@
+// Shared helpers for workload construction: dependency-region allocation and
+// access-program phrase building.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/access_stream.hpp"
+#include "runtime/runtime_system.hpp"
+#include "system/tiled_system.hpp"
+
+namespace tdn::workloads {
+
+class Builder {
+ public:
+  explicit Builder(system::TiledSystem& sys, Cycle compute)
+      : sys_(sys), compute_(compute) {}
+
+  runtime::RuntimeSystem& rt() { return sys_.runtime(); }
+
+  /// Allocate a named, line-aligned region and register it as a dependency.
+  struct Region {
+    DepId dep;
+    AddrRange range;
+  };
+  Region alloc(Addr bytes, const std::string& name) {
+    const AddrRange r = sys_.vspace().allocate(bytes, 64, name);
+    return Region{rt().region(r, name), r};
+  }
+  /// Allocate a region that is *not* declared as a dependency (runtime
+  /// metadata, lookup tables) — under TD-NUCA such data is untracked and
+  /// falls back to S-NUCA interleaving.
+  AddrRange alloc_untracked(Addr bytes, const std::string& name) {
+    return sys_.vspace().allocate(bytes, 64, name);
+  }
+
+  // --- access-program phrases -----------------------------------------
+  core::AccessPhase read(const Region& r, unsigned passes = 1,
+                         unsigned mlp = 0) const {
+    auto p = phase(r.range, AccessKind::Read, passes);
+    p.mlp = mlp;
+    return p;
+  }
+  core::AccessPhase write(const Region& r, unsigned passes = 1) const {
+    return phase(r.range, AccessKind::Write, passes);
+  }
+  /// Read-modify-write: interleaved read+write of each line, as an in-place
+  /// kernel does. Returns a phase group.
+  std::vector<core::AccessPhase> rmw(const Region& r) const {
+    return {phase(r.range, AccessKind::Read, 1),
+            phase(r.range, AccessKind::Write, 1)};
+  }
+  core::AccessPhase sample(const AddrRange& range, std::uint64_t touches,
+                           std::uint64_t seed) const {
+    core::AccessPhase p;
+    p.range = range;
+    p.kind = AccessKind::Read;
+    p.order = core::AccessPhase::Order::RandomSample;
+    p.touches = touches;
+    p.seed = seed;
+    p.compute_per_touch = compute_;
+    return p;
+  }
+
+  core::AccessPhase phase(const AddrRange& range, AccessKind kind,
+                          unsigned passes) const {
+    core::AccessPhase p;
+    p.range = range;
+    p.kind = kind;
+    p.passes = passes;
+    p.compute_per_touch = compute_;
+    return p;
+  }
+
+ private:
+  system::TiledSystem& sys_;
+  Cycle compute_;
+};
+
+/// Round a scaled byte count to whole 64B lines (at least one line).
+inline Addr scaled_bytes(double base, double scale) {
+  const Addr b = static_cast<Addr>(base * scale);
+  return b < 64 ? 64 : align_down(b, 64);
+}
+
+}  // namespace tdn::workloads

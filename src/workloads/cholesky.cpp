@@ -1,0 +1,114 @@
+// Cholesky — the paper's running example (Fig. 2): tiled right-looking
+// Cholesky factorization of a symmetric positive-definite matrix.
+//
+//   potrf(k):     inout A[k][k]
+//   trsm(i,k):    in A[k][k],  inout A[i][k]          (i > k)
+//   syrk(i,k):    in A[i][k],  inout A[i][i]
+//   gemm(i,j,k):  in A[i][k], in A[j][k], inout A[i][j]   (k < j < i)
+//
+// Not part of the paper's evaluation suite; used by the examples and the
+// integration tests as a structurally rich TDG.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class CholeskyWorkload final : public Workload {
+ public:
+  explicit CholeskyWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "cholesky"; }
+
+  void build(system::TiledSystem& sys) override {
+    Builder b(sys, params_.compute);
+    auto& rt = b.rt();
+
+    const unsigned T = 10;
+    const Addr tile_bytes = scaled_bytes(32.0 * kKiB, params_.scale);
+    // Lower triangle only.
+    std::vector<std::vector<Builder::Region>> tiles(T);
+    for (unsigned i = 0; i < T; ++i) {
+      for (unsigned j = 0; j <= i; ++j) {
+        std::ostringstream nm;
+        nm << "A[" << i << "][" << j << "]";
+        tiles[i].push_back(b.alloc(tile_bytes, nm.str()));
+      }
+    }
+
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+    for (unsigned k = 0; k < T; ++k) {
+      {
+        core::TaskProgram prog;
+        prog.add_group(b.rmw(tiles[k][k]));
+        std::ostringstream nm;
+        nm << "potrf(" << k << ")";
+        rt.create_task(nm.str(), {{tiles[k][k].dep, DepUse::InOut}},
+                       std::move(prog));
+        dep_bytes_total += tile_bytes;
+        ++tasks;
+      }
+      for (unsigned i = k + 1; i < T; ++i) {
+        core::TaskProgram prog;
+        prog.add_phase(b.read(tiles[k][k]));
+        prog.add_group(b.rmw(tiles[i][k]));
+        std::ostringstream nm;
+        nm << "trsm(" << i << "," << k << ")";
+        rt.create_task(nm.str(),
+                       {{tiles[k][k].dep, DepUse::In},
+                        {tiles[i][k].dep, DepUse::InOut}},
+                       std::move(prog));
+        dep_bytes_total += 2 * tile_bytes;
+        ++tasks;
+      }
+      for (unsigned i = k + 1; i < T; ++i) {
+        {
+          core::TaskProgram prog;
+          prog.add_phase(b.read(tiles[i][k]));
+          prog.add_group(b.rmw(tiles[i][i]));
+          std::ostringstream nm;
+          nm << "syrk(" << i << "," << k << ")";
+          rt.create_task(nm.str(),
+                         {{tiles[i][k].dep, DepUse::In},
+                          {tiles[i][i].dep, DepUse::InOut}},
+                         std::move(prog));
+          dep_bytes_total += 2 * tile_bytes;
+          ++tasks;
+        }
+        for (unsigned j = k + 1; j < i; ++j) {
+          core::TaskProgram prog;
+          prog.add_group({b.read(tiles[i][k]), b.read(tiles[j][k])});
+          prog.add_group(b.rmw(tiles[i][j]));
+          std::ostringstream nm;
+          nm << "gemm(" << i << "," << j << "," << k << ")";
+          rt.create_task(nm.str(),
+                         {{tiles[i][k].dep, DepUse::In},
+                          {tiles[j][k].dep, DepUse::In},
+                          {tiles[i][j].dep, DepUse::InOut}},
+                         std::move(prog));
+          dep_bytes_total += 3 * tile_bytes;
+          ++tasks;
+        }
+      }
+    }
+
+    stats_.input_bytes = sys.vspace().footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = 1;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cholesky(const WorkloadParams& p) {
+  return std::make_unique<CholeskyWorkload>(p);
+}
+
+}  // namespace tdn::workloads

@@ -1,0 +1,127 @@
+// Gauss — blocked in-place Gauss-Seidel sweep (paper Table II: N^2 matrix,
+// 2 iterations), tile-major layout.
+//
+// Per iteration, task(i,j) updates tile(i,j) in place (inout) reading the
+// already-updated west and north tiles (in) — a wavefront TDG. A taskwait
+// separates the two iterations, so within one phase each tile is written
+// once and read by at most two successor tasks. TD-NUCA behaviour:
+//   * the inout tile maps to the writer's local bank (future readers exist),
+//   * the first cross-task read replicates it, the last read bypasses,
+//   * next iteration's write triggers the lazy RO->RW invalidation.
+// This mirrors the paper's Gauss profile: almost every block is eventually
+// predicted not-reused, but a small set of inout tiles causes a large share
+// of misses, which is why full TD-NUCA clearly beats the bypass-only variant
+// (Fig. 15).
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class GaussWorkload final : public Workload {
+ public:
+  explicit GaussWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "gauss"; }
+
+  void build(system::TiledSystem& sys) override {
+    Builder b(sys, params_.compute);
+    auto& rt = b.rt();
+
+    // ~13.5 MiB matrix (3.4x the scaled LLC; the paper's is ~15x its LLC)
+    // in 48 KiB tile-major tiles => 17x17 tile grid. The matrix exceeds the
+    // LLC and iterations are barrier-separated, so tile updates round-trip
+    // to DRAM under every policy; what differentiates the policies is the
+    // placement of the heavily re-read halo regions (two neighbours' halos
+    // exceed the L1 together, so their re-reads stream from the LLC). Each
+    // tile's trailing half (its last rows) doubles as the halo its two
+    // wavefront successors read — a distinct, finer-grained dependency,
+    // exactly like OmpSs array-section halos.
+    const Addr tile_bytes = scaled_bytes(48.0 * kKiB, 1.0);
+    const Addr halo_bytes = tile_bytes / 2;
+    const unsigned grid = std::max<unsigned>(
+        2, static_cast<unsigned>(17.0 * std::sqrt(params_.scale)));
+    std::vector<Builder::Region> tiles;
+    std::vector<Builder::Region> halos;
+    tiles.reserve(static_cast<std::size_t>(grid) * grid);
+    for (unsigned i = 0; i < grid; ++i) {
+      for (unsigned j = 0; j < grid; ++j) {
+        std::ostringstream nm;
+        nm << "A[" << i << "][" << j << "]";
+        tiles.push_back(b.alloc(tile_bytes, nm.str()));
+        const AddrRange t = tiles.back().range;
+        // Halo: the trailing rows of the tile, as their own dependency.
+        const AddrRange h{t.end - halo_bytes, t.end};
+        halos.push_back({rt.region(h, nm.str() + ".halo"), h});
+      }
+    }
+    const AddrRange consts = b.alloc_untracked(16 * kKiB, "gauss.coeffs");
+
+    const unsigned iters = 2;
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+    for (unsigned it = 0; it < iters; ++it) {
+      for (unsigned i = 0; i < grid; ++i) {
+        for (unsigned j = 0; j < grid; ++j) {
+          const auto& own = tiles[i * grid + j];
+          std::vector<runtime::DepAccess> deps;
+          deps.push_back({own.dep, DepUse::InOut});
+          core::TaskProgram prog;
+          std::vector<core::AccessPhase> halo_reads;
+          std::vector<core::AccessPhase> halo_rereads;
+          if (i > 0) {
+            const auto& north = halos[(i - 1) * grid + j];
+            deps.push_back({north.dep, DepUse::In});
+            // Boundary values feed the whole first row of updates: the
+            // first sweep streams them in (prefetchable), then they are
+            // re-read with dependent accesses (this is the small set of
+            // blocks behind a large share of misses, paper Sec. V-D).
+            halo_reads.push_back(b.read(north, /*passes=*/1, /*mlp=*/8));
+            halo_rereads.push_back(b.read(north, /*passes=*/2, /*mlp=*/2));
+            dep_bytes_total += north.range.size();
+          }
+          if (j > 0) {
+            const auto& west = halos[i * grid + (j - 1)];
+            deps.push_back({west.dep, DepUse::In});
+            halo_reads.push_back(b.read(west, /*passes=*/1, /*mlp=*/8));
+            halo_rereads.push_back(b.read(west, /*passes=*/2, /*mlp=*/2));
+            dep_bytes_total += west.range.size();
+          }
+          if (!halo_reads.empty()) prog.add_group(std::move(halo_reads));
+          if (!halo_rereads.empty()) prog.add_group(std::move(halo_rereads));
+          prog.add_group(b.rmw(own));
+          prog.add_phase(b.sample(consts, 16, params_.seed + tasks));
+          dep_bytes_total += own.range.size();
+          std::ostringstream nm;
+          nm << "gauss(" << it << "," << i << "," << j << ")";
+          rt.create_task(nm.str(), std::move(deps), std::move(prog));
+          ++tasks;
+        }
+      }
+      // Barrier between iterations (residual/convergence check): within a
+      // phase each tile is written exactly once (predicted not-reused ->
+      // bypassed) while its halo is read by two successors (-> replicated).
+      if (it + 1 < iters) rt.taskwait();
+    }
+
+    stats_.input_bytes = sys.vspace().footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = iters;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_gauss(const WorkloadParams& p) {
+  return std::make_unique<GaussWorkload>(p);
+}
+
+}  // namespace tdn::workloads

@@ -1,0 +1,143 @@
+// Histo — two-pass blocked histogramming with a reduction tree (paper
+// Table II: 1500x1500 image, 50x50 blocks, 50 bins).
+//
+// Pass 1 computes per-tile value ranges; a reducer merges them; pass 2 bins
+// each tile into a per-tile partial histogram; a tree of reducers merges the
+// partials. All tasks are created up front (no taskwait), so the runtime
+// sees every future reader:
+//   * image tiles are read twice (range pass + binning pass): first read
+//     replicates, second bypasses,
+//   * partial histograms are written (out -> local bank mapping; Histo has
+//     the highest Out share of the suite, paper Sec. V-E) and read once by
+//     their reducer,
+//   * the merged global range is read by all pass-2 tasks -> replicated.
+// Little of the miss traffic is bypassable, which is why the bypass-only
+// variant gains nothing here (Fig. 15).
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class HistoWorkload final : public Workload {
+ public:
+  explicit HistoWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "histo"; }
+
+  void build(system::TiledSystem& sys) override {
+    Builder b(sys, params_.compute);
+    auto& rt = b.rt();
+
+    const unsigned tiles_n = 256;
+    const Addr tile_bytes = scaled_bytes(32.0 * kKiB, params_.scale);
+    const Addr hist_bytes = 4 * kKiB;
+    std::vector<Builder::Region> tiles(tiles_n), ranges(tiles_n), hists(tiles_n);
+    for (unsigned i = 0; i < tiles_n; ++i) {
+      std::ostringstream tn, rn, hn;
+      tn << "img[" << i << "]";
+      rn << "range[" << i << "]";
+      hn << "hist[" << i << "]";
+      tiles[i] = b.alloc(tile_bytes, tn.str());
+      ranges[i] = b.alloc(256, rn.str());
+      hists[i] = b.alloc(hist_bytes, hn.str());
+    }
+    const auto global_range = b.alloc(256, "global_range");
+
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+
+    // Pass 1: per-tile min/max.
+    for (unsigned i = 0; i < tiles_n; ++i) {
+      core::TaskProgram prog;
+      prog.add_phase(b.read(tiles[i]));
+      prog.add_phase(b.write(ranges[i]));
+      std::ostringstream nm;
+      nm << "range(" << i << ")";
+      rt.create_task(nm.str(),
+                     {{tiles[i].dep, DepUse::In}, {ranges[i].dep, DepUse::Out}},
+                     std::move(prog));
+      dep_bytes_total += tiles[i].range.size() + ranges[i].range.size();
+      ++tasks;
+    }
+    // Merge ranges.
+    {
+      core::TaskProgram prog;
+      std::vector<runtime::DepAccess> deps;
+      for (unsigned i = 0; i < tiles_n; ++i) {
+        deps.push_back({ranges[i].dep, DepUse::In});
+        prog.add_phase(b.read(ranges[i]));
+        dep_bytes_total += ranges[i].range.size();
+      }
+      deps.push_back({global_range.dep, DepUse::Out});
+      prog.add_phase(b.write(global_range));
+      dep_bytes_total += global_range.range.size();
+      rt.create_task("merge_ranges", std::move(deps), std::move(prog));
+      ++tasks;
+    }
+    // Pass 2: bin each tile.
+    for (unsigned i = 0; i < tiles_n; ++i) {
+      core::TaskProgram prog;
+      prog.add_phase(b.read(global_range));
+      prog.add_group({b.read(tiles[i]), b.phase(hists[i].range,
+                                                AccessKind::Write, 1)});
+      std::ostringstream nm;
+      nm << "bin(" << i << ")";
+      rt.create_task(nm.str(),
+                     {{global_range.dep, DepUse::In},
+                      {tiles[i].dep, DepUse::In},
+                      {hists[i].dep, DepUse::Out}},
+                     std::move(prog));
+      dep_bytes_total += global_range.range.size() + tiles[i].range.size() +
+                         hists[i].range.size();
+      ++tasks;
+    }
+    // Reduction tree over partial histograms, fan-in 8.
+    std::vector<Builder::Region> level = hists;
+    unsigned depth = 0;
+    while (level.size() > 1) {
+      std::vector<Builder::Region> next;
+      for (std::size_t g = 0; g < level.size(); g += 8) {
+        std::ostringstream an;
+        an << "acc[" << depth << "][" << g / 8 << "]";
+        const auto acc = b.alloc(hist_bytes, an.str());
+        core::TaskProgram prog;
+        std::vector<runtime::DepAccess> deps;
+        const std::size_t end = std::min(level.size(), g + 8);
+        for (std::size_t i = g; i < end; ++i) {
+          deps.push_back({level[i].dep, DepUse::In});
+          prog.add_group({b.read(level[i]),
+                          b.phase(acc.range, AccessKind::Write, 1)});
+          dep_bytes_total += level[i].range.size();
+        }
+        deps.push_back({acc.dep, DepUse::InOut});
+        dep_bytes_total += acc.range.size();
+        std::ostringstream nm;
+        nm << "reduce(" << depth << "," << g / 8 << ")";
+        rt.create_task(nm.str(), std::move(deps), std::move(prog));
+        ++tasks;
+        next.push_back(acc);
+      }
+      level = std::move(next);
+      ++depth;
+    }
+
+    stats_.input_bytes = sys.vspace().footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = 1;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_histo(const WorkloadParams& p) {
+  return std::make_unique<HistoWorkload>(p);
+}
+
+}  // namespace tdn::workloads

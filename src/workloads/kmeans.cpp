@@ -1,0 +1,119 @@
+// Kmeans — one Lloyd iteration over blocked points (paper Table II: 450000
+// points, 90 dims, 6 clusters, 1 iteration).
+//
+// Map tasks read their point block (once — predicted not-reused, bypassed)
+// and the shared centroids (read by every map task -> cluster replicated),
+// producing per-task accumulators; a reduction tree folds the accumulators
+// and a final task updates the centroids (the RO->RW transition exercises
+// TD-NUCA's lazy replica invalidation).
+#include "workloads/workloads.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class KmeansWorkload final : public Workload {
+ public:
+  explicit KmeansWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "kmeans"; }
+
+  void build(system::TiledSystem& sys) override {
+    Builder b(sys, params_.compute + 2);  // distance computation per line
+    auto& rt = b.rt();
+
+    const unsigned blocks = 96;
+    const Addr block_bytes = scaled_bytes(64.0 * kKiB, params_.scale);
+    const Addr centroid_bytes = 4 * kKiB;
+    const Addr acc_bytes = 4 * kKiB;
+
+    const auto centroids = b.alloc(centroid_bytes, "centroids");
+    std::vector<Builder::Region> points(blocks), accs(blocks);
+    for (unsigned i = 0; i < blocks; ++i) {
+      std::ostringstream pn, an;
+      pn << "pts[" << i << "]";
+      an << "acc[" << i << "]";
+      points[i] = b.alloc(block_bytes, pn.str());
+      accs[i] = b.alloc(acc_bytes, an.str());
+    }
+
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+    // Map: assign points to nearest centroid, accumulate partial sums.
+    for (unsigned i = 0; i < blocks; ++i) {
+      core::TaskProgram prog;
+      prog.add_phase(b.read(centroids));
+      prog.add_group({b.read(points[i]),
+                      b.phase(accs[i].range, AccessKind::Write, 1)});
+      std::ostringstream nm;
+      nm << "assign(" << i << ")";
+      rt.create_task(nm.str(),
+                     {{centroids.dep, DepUse::In},
+                      {points[i].dep, DepUse::In},
+                      {accs[i].dep, DepUse::Out}},
+                     std::move(prog));
+      dep_bytes_total += centroids.range.size() + points[i].range.size() +
+                         accs[i].range.size();
+      ++tasks;
+    }
+    // Reduce accumulators, fan-in 8, then update centroids.
+    std::vector<Builder::Region> level = accs;
+    unsigned depth = 0;
+    while (level.size() > 1) {
+      std::vector<Builder::Region> next;
+      for (std::size_t g = 0; g < level.size(); g += 8) {
+        std::ostringstream an;
+        an << "sum[" << depth << "][" << g / 8 << "]";
+        const auto sum = b.alloc(acc_bytes, an.str());
+        core::TaskProgram prog;
+        std::vector<runtime::DepAccess> deps;
+        const std::size_t end = std::min(level.size(), g + 8);
+        for (std::size_t i = g; i < end; ++i) {
+          deps.push_back({level[i].dep, DepUse::In});
+          prog.add_group({b.read(level[i]),
+                          b.phase(sum.range, AccessKind::Write, 1)});
+          dep_bytes_total += level[i].range.size();
+        }
+        deps.push_back({sum.dep, DepUse::InOut});
+        dep_bytes_total += sum.range.size();
+        std::ostringstream nm;
+        nm << "reduce(" << depth << "," << g / 8 << ")";
+        rt.create_task(nm.str(), std::move(deps), std::move(prog));
+        ++tasks;
+        next.push_back(sum);
+      }
+      level = std::move(next);
+      ++depth;
+    }
+    {
+      core::TaskProgram prog;
+      prog.add_group({b.read(level[0]),
+                      b.phase(centroids.range, AccessKind::Write, 1)});
+      rt.create_task("update_centroids",
+                     {{level[0].dep, DepUse::In},
+                      {centroids.dep, DepUse::InOut}},
+                     std::move(prog));
+      dep_bytes_total += level[0].range.size() + centroids.range.size();
+      ++tasks;
+    }
+
+    stats_.input_bytes = sys.vspace().footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = 1;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_kmeans(const WorkloadParams& p) {
+  return std::make_unique<KmeansWorkload>(p);
+}
+
+}  // namespace tdn::workloads

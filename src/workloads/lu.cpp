@@ -1,0 +1,136 @@
+// LU — tiled right-looking LU factorization without pivoting (paper
+// Table II), tile-major layout, all tasks created up front (a single
+// dataflow phase — factorizations have no iteration barrier).
+//
+// Dependency structure per step k:
+//   getrf(k):      inout A[k][k]
+//   trsm_row(k,j): in A[k][k], inout A[k][j]          (j > k)
+//   trsm_col(i,k): in A[k][k], inout A[i][k]          (i > k)
+//   gemm(i,j,k):   in A[i][k], in A[k][j], inout A[i][j]
+//
+// Panel tiles A[i][k] / A[k][j] are read by O(T) gemm tasks each — heavy
+// visible reuse, so TD-NUCA cluster-replicates them and LU shows the suite's
+// largest speedup (1.59x in the paper) while being the one benchmark whose
+// LLC dynamic energy *rises* under TD-NUCA (replication fills, Fig. 13).
+// R-NUCA classifies the panels as shared (touched by many cores) and cannot
+// replicate them once written.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class LuWorkload final : public Workload {
+ public:
+  explicit LuWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "lu"; }
+
+  void build(system::TiledSystem& sys) override {
+    Builder b(sys, params_.compute / 2 + 1);
+    auto& rt = b.rt();
+
+    // 10x10 tiles of 24 KiB. Two panels plus the destination tile exceed
+    // the L1, so the blocked microkernel's panel re-reads (passes below)
+    // miss the L1 and stream from the LLC — the dominant access class, as
+    // in the real kernel. That is what gives LU its near-100% LLC hit
+    // ratio under every policy (paper Fig. 10) and makes NUCA *distance*
+    // the deciding factor (paper Sec. V-A: 1.59x).
+    const unsigned T = 10;
+    const Addr tile_bytes = scaled_bytes(24.0 * kKiB, params_.scale);
+    std::vector<Builder::Region> tiles(static_cast<std::size_t>(T) * T);
+    for (unsigned i = 0; i < T; ++i) {
+      for (unsigned j = 0; j < T; ++j) {
+        std::ostringstream nm;
+        nm << "A[" << i << "][" << j << "]";
+        tiles[i * T + j] = b.alloc(tile_bytes, nm.str());
+      }
+    }
+    auto tile = [&](unsigned i, unsigned j) -> Builder::Region& {
+      return tiles[i * T + j];
+    };
+
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+    auto create = [&](const std::string& label,
+                      std::vector<runtime::DepAccess> deps,
+                      core::TaskProgram prog, Addr bytes) {
+      rt.create_task(label, std::move(deps), std::move(prog));
+      dep_bytes_total += bytes;
+      ++tasks;
+    };
+
+    for (unsigned k = 0; k < T; ++k) {
+      {  // getrf(k)
+        core::TaskProgram prog;
+        prog.add_group(b.rmw(tile(k, k)));
+        std::ostringstream nm;
+        nm << "getrf(" << k << ")";
+        create(nm.str(), {{tile(k, k).dep, DepUse::InOut}}, std::move(prog),
+               tile_bytes);
+      }
+      for (unsigned j = k + 1; j < T; ++j) {  // trsm on row k
+        core::TaskProgram prog;
+        prog.add_phase(b.read(tile(k, k)));
+        prog.add_group(b.rmw(tile(k, j)));
+        std::ostringstream nm;
+        nm << "trsm_r(" << k << "," << j << ")";
+        create(nm.str(),
+               {{tile(k, k).dep, DepUse::In}, {tile(k, j).dep, DepUse::InOut}},
+               std::move(prog), 2 * tile_bytes);
+      }
+      for (unsigned i = k + 1; i < T; ++i) {  // trsm on column k
+        core::TaskProgram prog;
+        prog.add_phase(b.read(tile(k, k)));
+        prog.add_group(b.rmw(tile(i, k)));
+        std::ostringstream nm;
+        nm << "trsm_c(" << i << "," << k << ")";
+        create(nm.str(),
+               {{tile(k, k).dep, DepUse::In}, {tile(i, k).dep, DepUse::InOut}},
+               std::move(prog), 2 * tile_bytes);
+      }
+      for (unsigned i = k + 1; i < T; ++i) {  // trailing update
+        for (unsigned j = k + 1; j < T; ++j) {
+          core::TaskProgram prog;
+          // Inner-blocked GEMM re-reads the panels (their reuse in the L1 is
+          // partial since two panels plus the tile exceed it): panel reads
+          // dominate the task's miss stream, as in the real kernel. The
+          // first sweep is a prefetchable stream (high MLP); the re-reads
+          // feed multiply-accumulate chains with dependent addresses (low
+          // MLP), exposing the LLC access latency — and hence NUCA
+          // distance — on them.
+          prog.add_group({b.read(tile(i, k), /*passes=*/1, /*mlp=*/8),
+                          b.read(tile(k, j), /*passes=*/1, /*mlp=*/8)});
+          prog.add_group({b.read(tile(i, k), /*passes=*/18, /*mlp=*/2),
+                          b.read(tile(k, j), /*passes=*/18, /*mlp=*/2)});
+          prog.add_group(b.rmw(tile(i, j)));
+          std::ostringstream nm;
+          nm << "gemm(" << i << "," << j << "," << k << ")";
+          create(nm.str(),
+                 {{tile(i, k).dep, DepUse::In},
+                  {tile(k, j).dep, DepUse::In},
+                  {tile(i, j).dep, DepUse::InOut}},
+                 std::move(prog), 3 * tile_bytes);
+        }
+      }
+    }
+
+    stats_.input_bytes = sys.vspace().footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = 1;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lu(const WorkloadParams& p) {
+  return std::make_unique<LuWorkload>(p);
+}
+
+}  // namespace tdn::workloads

@@ -1,0 +1,29 @@
+#include "workloads/workload.hpp"
+
+#include "common/require.hpp"
+#include "workloads/workloads.hpp"
+
+namespace tdn::workloads {
+
+const std::vector<std::string>& paper_workload_names() {
+  static const std::vector<std::string> names = {
+      "gauss", "histo", "jacobi", "kmeans", "knn", "lu", "md5", "redblack"};
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        const WorkloadParams& params) {
+  if (name == "gauss") return make_gauss(params);
+  if (name == "histo") return make_histo(params);
+  if (name == "jacobi") return make_jacobi(params);
+  if (name == "kmeans") return make_kmeans(params);
+  if (name == "knn") return make_knn(params);
+  if (name == "lu") return make_lu(params);
+  if (name == "md5") return make_md5(params);
+  if (name == "redblack") return make_redblack(params);
+  if (name == "cholesky") return make_cholesky(params);
+  TDN_REQUIRE(false, "unknown workload: " + std::string(name));
+  return nullptr;
+}
+
+}  // namespace tdn::workloads

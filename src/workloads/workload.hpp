@@ -1,0 +1,62 @@
+// Workload framework — the paper's eight task dataflow benchmarks (Table II)
+// re-implemented as task-graph generators: each workload allocates its data
+// regions in the system's virtual space, declares tasks with
+// in/out/inout dependencies, and attaches a line-granular access program
+// describing the kernel's memory behaviour.
+//
+// Footprints are scaled to preserve the paper's governing ratios against the
+// scaled 2 MiB LLC (DESIGN.md Sec. 6): every input set exceeds the LLC by
+// the same order the paper's inputs exceed its 32 MB LLC.
+//
+// Layouts are tile-major (each dependency block contiguous in virtual
+// memory), as task-based linear algebra and stencil codes use in practice —
+// and as OmpSs array-section dependencies require.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "system/tiled_system.hpp"
+
+namespace tdn::workloads {
+
+struct WorkloadParams {
+  /// Footprint multiplier (1.0 = the DESIGN.md default sizes).
+  double scale = 1.0;
+  /// Arithmetic intensity baseline: compute cycles charged per line touch.
+  Cycle compute = 4;
+  std::uint64_t seed = 7;
+};
+
+struct WorkloadStats {
+  Addr input_bytes = 0;        ///< total data footprint (Table II col. 3)
+  std::size_t num_tasks = 0;   ///< Table II col. 4
+  Addr avg_task_bytes = 0;     ///< mean per-task dependency footprint
+  std::size_t num_phases = 1;  ///< taskwait-delimited phases
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual const char* name() const = 0;
+  /// Allocate regions and create the task graph in @p sys.
+  virtual void build(system::TiledSystem& sys) = 0;
+  /// Valid after build().
+  const WorkloadStats& stats() const noexcept { return stats_; }
+
+ protected:
+  WorkloadStats stats_;
+};
+
+/// The paper's benchmarks in Table II order.
+const std::vector<std::string>& paper_workload_names();
+
+/// Factory; also accepts "cholesky" (the Fig. 2 running example).
+/// Throws RequireError for unknown names.
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        const WorkloadParams& params = {});
+
+}  // namespace tdn::workloads

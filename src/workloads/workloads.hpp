@@ -1,0 +1,19 @@
+// Concrete workload declarations. See each .cpp for the kernel's dependency
+// structure and how it maps to the paper's Table II entry.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace tdn::workloads {
+
+std::unique_ptr<Workload> make_gauss(const WorkloadParams&);
+std::unique_ptr<Workload> make_histo(const WorkloadParams&);
+std::unique_ptr<Workload> make_jacobi(const WorkloadParams&);
+std::unique_ptr<Workload> make_kmeans(const WorkloadParams&);
+std::unique_ptr<Workload> make_knn(const WorkloadParams&);
+std::unique_ptr<Workload> make_lu(const WorkloadParams&);
+std::unique_ptr<Workload> make_md5(const WorkloadParams&);
+std::unique_ptr<Workload> make_redblack(const WorkloadParams&);
+std::unique_ptr<Workload> make_cholesky(const WorkloadParams&);
+
+}  // namespace tdn::workloads

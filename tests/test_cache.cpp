@@ -1,0 +1,171 @@
+// Unit tests: pseudo-LRU tree, set-associative array, MSHR file.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache_array.hpp"
+#include "cache/mshr.hpp"
+#include "cache/replacement.hpp"
+
+using namespace tdn;
+using namespace tdn::cache;
+
+TEST(PseudoLru, VictimIsNeverMostRecentlyUsed) {
+  for (unsigned ways : {2u, 4u, 8u, 16u}) {
+    PseudoLruTree t(ways);
+    for (unsigned w = 0; w < ways; ++w) {
+      t.touch(w);
+      EXPECT_NE(t.victim(), w) << "ways=" << ways << " touched=" << w;
+    }
+  }
+}
+
+TEST(PseudoLru, RoundRobinTouchCyclesVictims) {
+  PseudoLruTree t(4);
+  // Touch every way repeatedly; victims must vary (no way starves).
+  std::set<unsigned> victims;
+  for (int round = 0; round < 8; ++round) {
+    const unsigned v = t.victim();
+    victims.insert(v);
+    t.touch(v);
+  }
+  EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(PseudoLru, RejectsNonPow2) {
+  EXPECT_THROW(PseudoLruTree(6), RequireError);
+}
+
+namespace {
+struct Meta {
+  int tag = 0;
+  bool dirty = false;
+};
+using Array = CacheArray<Meta>;
+}  // namespace
+
+TEST(CacheArray, GeometryValidation) {
+  CacheGeometry bad;
+  bad.size_bytes = 1000;  // not divisible
+  EXPECT_THROW(Array{bad}, RequireError);
+}
+
+TEST(CacheArray, FindAllocateInvalidate) {
+  Array arr({4 * kKiB, 4, 64});
+  EXPECT_EQ(arr.find(0x1000), nullptr);
+  std::optional<Array::Eviction> ev;
+  auto& ln = arr.allocate(0x1000, ev);
+  EXPECT_FALSE(ev.has_value());
+  ln.meta.tag = 42;
+  ASSERT_NE(arr.find(0x1000), nullptr);
+  EXPECT_EQ(arr.find(0x1000)->meta.tag, 42);
+  EXPECT_EQ(arr.occupied_lines(), 1u);
+  auto m = arr.invalidate(0x1000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 42);
+  EXPECT_EQ(arr.find(0x1000), nullptr);
+  EXPECT_EQ(arr.occupied_lines(), 0u);
+}
+
+TEST(CacheArray, EvictionOnConflict) {
+  Array arr({4 * kKiB, 4, 64});  // 16 sets
+  // 5 lines in the same set (stride = sets * line = 1024).
+  std::optional<Array::Eviction> ev;
+  for (int i = 0; i < 4; ++i) {
+    arr.allocate(0x100000 + i * 1024, ev);
+    EXPECT_FALSE(ev.has_value());
+  }
+  arr.allocate(0x100000 + 4 * 1024, ev);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->addr, 0x100000u);  // LRU victim = first inserted
+}
+
+TEST(CacheArray, TouchProtectsFromEviction) {
+  Array arr({4 * kKiB, 4, 64});
+  std::optional<Array::Eviction> ev;
+  for (int i = 0; i < 4; ++i) arr.allocate(0x100000 + i * 1024, ev);
+  arr.touch(0x100000);  // refresh the oldest
+  arr.allocate(0x100000 + 4 * 1024, ev);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_NE(ev->addr, 0x100000u);
+}
+
+TEST(CacheArray, AvoidPredicateSkipsBusyVictim) {
+  Array arr({4 * kKiB, 4, 64});
+  std::optional<Array::Eviction> ev;
+  for (int i = 0; i < 4; ++i) arr.allocate(0x100000 + i * 1024, ev);
+  const Addr protected_line = 0x100000;
+  arr.allocate(0x100000 + 4 * 1024, ev,
+               [&](Addr a) { return a == protected_line; });
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_NE(ev->addr, protected_line);
+}
+
+TEST(CacheArray, SetIndexShiftSpreadsBankInterleavedLines) {
+  // With 16-way interleaving across banks, a bank sees lines whose low 4
+  // line-address bits are constant. Without the shift those lines collide
+  // in 1/16th of the sets.
+  CacheGeometry geo{16 * kKiB, 4, 64};
+  geo.set_index_shift = 4;
+  Array arr(geo);
+  std::set<unsigned> sets;
+  for (Addr line = 0; line < 64 * 16 * 64; line += 16 * 64)
+    sets.insert(arr.set_of(line));
+  EXPECT_EQ(sets.size(), arr.capacity_lines() / 4);  // all 64 sets used
+}
+
+TEST(CacheArray, ForEachInRangeAlignmentRule) {
+  Array arr({4 * kKiB, 4, 64});
+  std::optional<Array::Eviction> ev;
+  arr.allocate(0x1000, ev);
+  arr.allocate(0x1040, ev);
+  // Range covering the first line entirely but only half the second:
+  // the partially covered line must not be visited (paper Sec. III-D).
+  std::vector<Addr> visited;
+  arr.for_each_in_range({0x1000, 0x1060}, [&](Addr a, Meta&) {
+    visited.push_back(a);
+    return false;
+  });
+  EXPECT_EQ(visited, (std::vector<Addr>{0x1000}));
+}
+
+TEST(CacheArray, ForEachInRangeInvalidates) {
+  Array arr({4 * kKiB, 4, 64});
+  std::optional<Array::Eviction> ev;
+  for (Addr a = 0x2000; a < 0x2200; a += 64) arr.allocate(a, ev);
+  const auto n =
+      arr.for_each_in_range({0x2000, 0x2200}, [](Addr, Meta&) { return true; });
+  EXPECT_EQ(n, 8u);
+  EXPECT_EQ(arr.occupied_lines(), 0u);
+}
+
+TEST(Mshr, MergeAndComplete) {
+  MshrFile mshr(4);
+  int fills = 0;
+  EXPECT_EQ(mshr.register_miss(0x40, [&] { ++fills; }),
+            MshrFile::Outcome::NewEntry);
+  EXPECT_EQ(mshr.register_miss(0x40, [&] { ++fills; }),
+            MshrFile::Outcome::Merged);
+  EXPECT_TRUE(mshr.in_flight(0x40));
+  EXPECT_EQ(mshr.merges(), 1u);
+  auto cbs = mshr.complete(0x40);
+  EXPECT_EQ(cbs.size(), 2u);
+  for (auto& cb : cbs) cb();
+  EXPECT_EQ(fills, 2);
+  EXPECT_FALSE(mshr.in_flight(0x40));
+}
+
+TEST(Mshr, CapacityLimit) {
+  MshrFile mshr(2);
+  EXPECT_EQ(mshr.register_miss(0x00, [] {}), MshrFile::Outcome::NewEntry);
+  EXPECT_EQ(mshr.register_miss(0x40, [] {}), MshrFile::Outcome::NewEntry);
+  EXPECT_EQ(mshr.register_miss(0x80, [] {}), MshrFile::Outcome::Full);
+  // Merges still allowed when full.
+  EXPECT_EQ(mshr.register_miss(0x00, [] {}), MshrFile::Outcome::Merged);
+  EXPECT_EQ(mshr.structural_stalls(), 1u);
+}
+
+TEST(Mshr, CompleteUnknownThrows) {
+  MshrFile mshr(2);
+  EXPECT_THROW(mshr.complete(0x123), RequireError);
+}

@@ -1,0 +1,230 @@
+// Unit tests: access stream generation and the timing core.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coherence/coherent_system.hpp"
+#include "core/access_stream.hpp"
+#include "core/sim_core.hpp"
+#include "mem/page_table.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "nuca/snuca.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace tdn;
+using namespace tdn::core;
+
+TEST(AccessStream, SequentialCoversContainedLines) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x1000, 0x1200};  // 8 lines
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  std::vector<Addr> seen;
+  while (s.next(op)) seen.push_back(op.vaddr);
+  ASSERT_EQ(seen.size(), 8u);
+  EXPECT_EQ(seen.front(), 0x1000u);
+  EXPECT_EQ(seen.back(), 0x11C0u);
+}
+
+TEST(AccessStream, UnalignedRangeSkipsPartialLines) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x1010, 0x11F0};  // partial first/last lines
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  std::vector<Addr> seen;
+  while (s.next(op)) seen.push_back(op.vaddr);
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen.front(), 0x1040u);
+}
+
+TEST(AccessStream, PassesRepeat) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0, 256};  // 4 lines
+  p.passes = 3;
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  int n = 0;
+  while (s.next(op)) ++n;
+  EXPECT_EQ(n, 12);
+  EXPECT_EQ(prog.total_touches(), 12u);
+}
+
+TEST(AccessStream, StrideSkipsLines) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0, 512};  // 8 lines
+  p.stride_lines = 2;
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  std::vector<Addr> seen;
+  while (s.next(op)) seen.push_back(op.vaddr);
+  EXPECT_EQ(seen, (std::vector<Addr>{0, 128, 256, 384}));
+}
+
+TEST(AccessStream, RandomSampleWithinRange) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x4000, 0x8000};
+  p.order = AccessPhase::Order::RandomSample;
+  p.touches = 100;
+  p.seed = 9;
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  int n = 0;
+  while (s.next(op)) {
+    EXPECT_GE(op.vaddr, 0x4000u);
+    EXPECT_LT(op.vaddr, 0x8000u);
+    EXPECT_EQ(op.vaddr % 64, 0u);
+    ++n;
+  }
+  EXPECT_EQ(n, 100);
+}
+
+TEST(AccessStream, GroupInterleavesRoundRobin) {
+  TaskProgram prog;
+  AccessPhase a;
+  a.range = {0, 128};  // 2 lines
+  AccessPhase b;
+  b.range = {0x1000, 0x1080};
+  b.kind = AccessKind::Write;
+  prog.add_group({a, b});
+  AccessStream s(prog);
+  AccessOp op;
+  std::vector<Addr> seen;
+  while (s.next(op)) seen.push_back(op.vaddr);
+  EXPECT_EQ(seen, (std::vector<Addr>{0, 0x1000, 64, 0x1040}));
+}
+
+TEST(AccessStream, GroupsExecuteInOrder) {
+  TaskProgram prog;
+  AccessPhase a;
+  a.range = {0, 64};
+  AccessPhase b;
+  b.range = {0x1000, 0x1040};
+  prog.add_phase(a);
+  prog.add_phase(b);
+  AccessStream s(prog);
+  AccessOp op;
+  ASSERT_TRUE(s.next(op));
+  EXPECT_EQ(op.vaddr, 0u);
+  ASSERT_TRUE(s.next(op));
+  EXPECT_EQ(op.vaddr, 0x1000u);
+  EXPECT_FALSE(s.next(op));
+}
+
+TEST(AccessStream, MlpPropagates) {
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0, 64};
+  p.mlp = 3;
+  prog.add_phase(p);
+  AccessStream s(prog);
+  AccessOp op;
+  ASSERT_TRUE(s.next(op));
+  EXPECT_EQ(op.mlp, 3u);
+}
+
+namespace {
+struct CoreRig {
+  sim::EventQueue eq;
+  noc::Mesh mesh{2, 2};
+  noc::Network net{mesh, eq, {}};
+  mem::MemControllers mcs{1, {0}, {}};
+  nuca::SNucaPolicy policy{4};
+  coherence::CoherentSystem caches{eq, net, mesh, mcs, policy, {}, 4};
+  mem::PageTable pt;
+  SimCore core{0, eq, caches, pt};
+};
+}  // namespace
+
+TEST(SimCore, ExecutesProgramToCompletion) {
+  CoreRig rig;
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x10000000, 0x10000000 + 4096};
+  prog.add_phase(p);
+  bool done = false;
+  rig.core.execute(prog, [&] { done = true; });
+  rig.eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.core.loads(), 64u);
+  EXPECT_TRUE(rig.core.idle());
+  EXPECT_GT(rig.core.task_cycles(), 0u);
+}
+
+TEST(SimCore, StoresDrainBeforeCompletion) {
+  CoreRig rig;
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x10000000, 0x10000000 + 2048};
+  p.kind = AccessKind::Write;
+  prog.add_phase(p);
+  bool done = false;
+  rig.core.execute(prog, [&] { done = true; });
+  rig.eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.core.stores(), 32u);
+}
+
+TEST(SimCore, BusyOccupiesAndCompletes) {
+  CoreRig rig;
+  bool done = false;
+  rig.core.busy(500, [&] { done = true; });
+  EXPECT_FALSE(rig.core.idle() && done);
+  rig.eq.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rig.eq.now(), 500u);
+  EXPECT_EQ(rig.core.busy_cycles(), 500u);
+}
+
+TEST(SimCore, ReservationBlocksIdle) {
+  CoreRig rig;
+  EXPECT_TRUE(rig.core.idle());
+  rig.core.reserve();
+  EXPECT_FALSE(rig.core.idle());
+  EXPECT_THROW(rig.core.reserve(), RequireError);
+  rig.core.release();
+  EXPECT_TRUE(rig.core.idle());
+}
+
+TEST(SimCore, RejectsConcurrentExecute) {
+  CoreRig rig;
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x10000000, 0x10000000 + 640};
+  prog.add_phase(p);
+  rig.core.execute(prog, [] {});
+  EXPECT_THROW(rig.core.execute(prog, [] {}), RequireError);
+  rig.eq.run();
+}
+
+TEST(SimCore, LoadWindowLimitsOverlap) {
+  CoreRig rig;
+  // With window 1, loads serialize: runtime scales with full miss latency.
+  TaskProgram prog;
+  AccessPhase p;
+  p.range = {0x10000000, 0x10000000 + 64 * 64};
+  p.mlp = 1;
+  prog.add_phase(p);
+  rig.core.execute(prog, [] {});
+  const Cycle serial = rig.eq.run();
+
+  CoreRig rig2;
+  TaskProgram prog2;
+  AccessPhase p2;
+  p2.range = {0x10000000, 0x10000000 + 64 * 64};
+  p2.mlp = 8;
+  prog2.add_phase(p2);
+  rig2.core.execute(prog2, [] {});
+  const Cycle overlapped = rig2.eq.run();
+  EXPECT_LT(overlapped, serial / 2);
+}

@@ -1,0 +1,149 @@
+// Unit tests: virtual space, page table (first touch + fragmentation +
+// range collapse), TLB, DRAM timing.
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "mem/tlb.hpp"
+
+using namespace tdn;
+using namespace tdn::mem;
+
+TEST(VirtualSpace, AlignedBumpAllocation) {
+  VirtualSpace vs;
+  const AddrRange a = vs.allocate(100, 64, "a");
+  const AddrRange b = vs.allocate(64, 4096, "b");
+  EXPECT_EQ(a.begin % 64, 0u);
+  EXPECT_EQ(b.begin % 4096, 0u);
+  EXPECT_GE(b.begin, a.end);
+  EXPECT_EQ(vs.regions().size(), 2u);
+  EXPECT_GT(vs.footprint(), 0u);
+}
+
+TEST(VirtualSpace, RejectsBadArgs) {
+  VirtualSpace vs;
+  EXPECT_THROW(vs.allocate(0), RequireError);
+  EXPECT_THROW(vs.allocate(64, 48), RequireError);  // not pow2
+  EXPECT_THROW(vs.allocate(64, 32), RequireError);  // below line size
+}
+
+TEST(PageTable, FirstTouchIsStable) {
+  PageTable pt;
+  const Addr p1 = pt.translate(0x10000000);
+  const Addr p2 = pt.translate(0x10000000 + 100);
+  EXPECT_EQ(p2 - p1, 100u);  // same page, same frame
+  EXPECT_EQ(pt.translate(0x10000000), p1);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(PageTable, TryTranslateDoesNotAllocate) {
+  PageTable pt;
+  Addr pa = 0;
+  EXPECT_FALSE(pt.try_translate(0x20000000, pa));
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+  pt.translate(0x20000000);
+  EXPECT_TRUE(pt.try_translate(0x20000000, pa));
+}
+
+TEST(PageTable, DeterministicForSameSeed) {
+  PageTableConfig cfg;
+  PageTable a(cfg), b(cfg);
+  for (Addr va = 0x10000000; va < 0x10000000 + 64 * 4096; va += 4096)
+    EXPECT_EQ(a.translate(va), b.translate(va));
+}
+
+TEST(PageTable, ZeroFragmentationIsContiguous) {
+  PageTableConfig cfg;
+  cfg.fragmentation = 0.0;
+  PageTable pt(cfg);
+  const AddrRange vr{0x10000000, 0x10000000 + 16 * 4096};
+  const auto tr = pt.translate_range(vr);
+  ASSERT_EQ(tr.physical_pieces.size(), 1u);
+  EXPECT_EQ(tr.physical_pieces[0].size(), vr.size());
+  EXPECT_EQ(tr.pages_walked, 16u);
+}
+
+TEST(PageTable, FragmentationSplitsRanges) {
+  PageTableConfig cfg;
+  cfg.fragmentation = 0.5;
+  PageTable pt(cfg);
+  const AddrRange vr{0x10000000, 0x10000000 + 64 * 4096};
+  const auto tr = pt.translate_range(vr);
+  EXPECT_GT(tr.physical_pieces.size(), 1u);
+  // The pieces always cover exactly the range's bytes.
+  Addr total = 0;
+  for (const auto& p : tr.physical_pieces) total += p.size();
+  EXPECT_EQ(total, vr.size());
+}
+
+TEST(PageTable, SubPageRangeClipping) {
+  PageTableConfig cfg;
+  cfg.fragmentation = 0.0;
+  PageTable pt(cfg);
+  // Range straddling two pages with byte offsets.
+  const AddrRange vr{0x10000000 + 100, 0x10000000 + 4096 + 200};
+  const auto tr = pt.translate_range(vr);
+  Addr total = 0;
+  for (const auto& p : tr.physical_pieces) total += p.size();
+  EXPECT_EQ(total, vr.size());
+  EXPECT_EQ(tr.pages_walked, 2u);
+}
+
+TEST(Tlb, HitAfterMiss) {
+  Tlb tlb({.entries = 4, .hit_latency = 1, .miss_penalty = 20}, 4096);
+  EXPECT_EQ(tlb.access(0x1000), 21u);  // miss
+  EXPECT_EQ(tlb.access(0x1004), 1u);   // hit, same page
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction) {
+  Tlb tlb({.entries = 2, .hit_latency = 1, .miss_penalty = 20}, 4096);
+  tlb.access(0x1000);
+  tlb.access(0x2000);
+  tlb.access(0x1000);  // touch page 1 -> page 2 is LRU
+  tlb.access(0x3000);  // evicts page 2
+  EXPECT_TRUE(tlb.contains(0x1000));
+  EXPECT_FALSE(tlb.contains(0x2000));
+  EXPECT_TRUE(tlb.contains(0x3000));
+}
+
+TEST(Tlb, Shootdown) {
+  Tlb tlb({}, 4096);
+  tlb.access(0x5000);
+  EXPECT_TRUE(tlb.contains(0x5000));
+  tlb.invalidate_page(0x5008);
+  EXPECT_FALSE(tlb.contains(0x5000));
+  EXPECT_EQ(tlb.shootdowns(), 1u);
+  tlb.invalidate_page(0x5000);  // absent: no-op
+  EXPECT_EQ(tlb.shootdowns(), 1u);
+}
+
+TEST(Dram, LatencyAndBandwidth) {
+  MemController mc({.access_latency = 100, .service_interval = 4});
+  EXPECT_EQ(mc.request(0, AccessKind::Read), 100u);
+  // Second request one cycle later queues behind the service interval.
+  EXPECT_EQ(mc.request(1, AccessKind::Read), 104u);
+  EXPECT_EQ(mc.reads(), 2u);
+}
+
+TEST(Dram, IdleGapResetsQueue) {
+  MemController mc({.access_latency = 100, .service_interval = 4});
+  mc.request(0, AccessKind::Write);
+  EXPECT_EQ(mc.request(1000, AccessKind::Read), 1100u);
+  EXPECT_EQ(mc.writes(), 1u);
+}
+
+TEST(MemControllers, InterleaveCoversAll) {
+  MemControllers mcs(4, {0, 3, 12, 15});
+  bool used[4] = {};
+  for (Addr line = 0; line < 64 * 64; line += 64) used[mcs.index_for(line)] = true;
+  for (bool u : used) EXPECT_TRUE(u);
+  EXPECT_EQ(mcs.tile_of(0), 0u);
+  EXPECT_EQ(mcs.tile_of(3), 15u);
+}
+
+TEST(MemControllers, RejectsMismatchedTiles) {
+  EXPECT_THROW(MemControllers(2, {0}), RequireError);
+}

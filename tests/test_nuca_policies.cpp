@@ -1,0 +1,158 @@
+// Unit tests: S-NUCA interleaving, TD-NUCA hardware mapping, R-NUCA page
+// classification state machine.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/page_table.hpp"
+#include "noc/mesh.hpp"
+#include "nuca/rnuca.hpp"
+#include "nuca/snuca.hpp"
+#include "nuca/tdnuca_policy.hpp"
+
+using namespace tdn;
+using namespace tdn::nuca;
+
+TEST(SNuca, InterleavesAcrossAllBanks) {
+  SNucaPolicy p(16);
+  std::set<BankId> used;
+  for (Addr a = 0; a < 64 * 64; a += 64)
+    used.insert(p.map(0, a, a, AccessKind::Read).bank);
+  EXPECT_EQ(used.size(), 16u);
+  // Mapping is requester-independent.
+  EXPECT_EQ(p.map(0, 0x40, 0x40, AccessKind::Read).bank,
+            p.map(9, 0x40, 0x40, AccessKind::Read).bank);
+}
+
+TEST(TdNucaPolicy, FallsBackToSNucaOnRrtMiss) {
+  noc::Mesh mesh(4, 4);
+  TdNucaPolicy p(mesh, 16, {});
+  const auto d = p.map(2, 0x1000, 0x1000, AccessKind::Read);
+  EXPECT_EQ(d.kind, MapDecision::Kind::Bank);
+  EXPECT_EQ(d.bank, snuca_bank(0x1000, 16));
+  EXPECT_EQ(d.lookup_latency, 1u);  // RRT consulted on every miss
+  EXPECT_EQ(p.rrt_misses(), 1u);
+}
+
+TEST(TdNucaPolicy, ZeroMaskBypasses) {
+  noc::Mesh mesh(4, 4);
+  TdNucaPolicy p(mesh, 16, {});
+  p.rrt(3).register_range({0x1000, 0x2000}, BankMask::none());
+  const auto d = p.map(3, 0x1800, 0x1800, AccessKind::Read);
+  EXPECT_EQ(d.kind, MapDecision::Kind::Bypass);
+  // Other cores' RRTs are independent.
+  EXPECT_EQ(p.map(4, 0x1800, 0x1800, AccessKind::Read).kind,
+            MapDecision::Kind::Bank);
+}
+
+TEST(TdNucaPolicy, SingleBitMapsToThatBank) {
+  noc::Mesh mesh(4, 4);
+  TdNucaPolicy p(mesh, 16, {});
+  p.rrt(0).register_range({0x1000, 0x2000}, BankMask::single(7));
+  const auto d = p.map(0, 0x1040, 0x1040, AccessKind::Write);
+  EXPECT_EQ(d.kind, MapDecision::Kind::Bank);
+  EXPECT_EQ(d.bank, 7u);
+}
+
+TEST(TdNucaPolicy, FourBitMaskInterleavesWithinCluster) {
+  noc::Mesh mesh(4, 4);
+  TdNucaPolicy p(mesh, 16, {});
+  const BankMask cluster = p.clusters().mask_of(1);
+  p.rrt(0).register_range({0, 0x10000}, cluster);
+  std::set<BankId> used;
+  for (Addr a = 0; a < 64 * 16; a += 64)
+    used.insert(p.map(0, a, a, AccessKind::Read).bank);
+  EXPECT_EQ(used.size(), 4u);
+  for (BankId b : used) EXPECT_TRUE(cluster.test(b));
+}
+
+TEST(TdNucaPolicy, LatencyConfigurable) {
+  noc::Mesh mesh(4, 4);
+  TdNucaConfig cfg;
+  cfg.rrt_latency = 3;
+  TdNucaPolicy p(mesh, 16, cfg);
+  EXPECT_EQ(p.map(0, 0, 0, AccessKind::Read).lookup_latency, 3u);
+}
+
+namespace {
+struct RNucaRig {
+  noc::Mesh mesh{4, 4};
+  mem::PageTable pt;
+  RNucaPolicy p{mesh, 16, pt};
+};
+}  // namespace
+
+TEST(RNuca, FirstTouchIsPrivateToLocalBank) {
+  RNucaRig rig;
+  rig.p.on_access(5, 0x10000000, AccessKind::Read);
+  const Addr pa = rig.pt.translate(0x10000000);
+  EXPECT_EQ(rig.p.map(5, 0x10000000, pa, AccessKind::Read).bank, 5u);
+  const auto c = rig.p.census();
+  EXPECT_EQ(c.private_pages, 1u);
+}
+
+TEST(RNuca, SecondCoreReadMakesSharedRO) {
+  RNucaRig rig;
+  rig.p.on_access(0, 0x10000000, AccessKind::Read);
+  const Cycle penalty = rig.p.on_access(1, 0x10000000, AccessKind::Read);
+  EXPECT_GT(penalty, 0u);
+  const auto c = rig.p.census();
+  EXPECT_EQ(c.shared_ro_pages, 1u);
+  EXPECT_EQ(rig.p.reclassifications(), 1u);
+  // Shared-RO pages map within the requester's quadrant cluster.
+  const Addr pa = rig.pt.translate(0x10000000);
+  const BankId b = rig.p.map(1, 0x10000000, pa, AccessKind::Read).bank;
+  EXPECT_EQ(rig.mesh.cluster_of(b), rig.mesh.cluster_of(1));
+}
+
+TEST(RNuca, WrittenThenSharedBecomesShared) {
+  RNucaRig rig;
+  rig.p.on_access(0, 0x10000000, AccessKind::Write);
+  rig.p.on_access(1, 0x10000000, AccessKind::Read);
+  EXPECT_EQ(rig.p.census().shared_pages, 1u);
+  const Addr pa = rig.pt.translate(0x10000000);
+  EXPECT_EQ(rig.p.map(1, 0x10000000, pa, AccessKind::Read).bank,
+            snuca_bank(pa, 16));
+}
+
+TEST(RNuca, WriteToSharedRODemotes) {
+  RNucaRig rig;
+  rig.p.on_access(0, 0x10000000, AccessKind::Read);
+  rig.p.on_access(1, 0x10000000, AccessKind::Read);  // -> SharedRO
+  ASSERT_EQ(rig.p.census().shared_ro_pages, 1u);
+  rig.p.on_access(2, 0x10000000, AccessKind::Write);
+  EXPECT_EQ(rig.p.census().shared_pages, 1u);
+  EXPECT_EQ(rig.p.reclassifications(), 2u);
+}
+
+TEST(RNuca, SharedNeverReturnsToPrivate) {
+  RNucaRig rig;
+  rig.p.on_access(0, 0x10000000, AccessKind::Write);
+  rig.p.on_access(1, 0x10000000, AccessKind::Write);
+  // Even after core 1 becomes the only user, the page stays Shared
+  // (the key limitation TD-NUCA addresses, paper Sec. II-C).
+  for (int i = 0; i < 10; ++i)
+    rig.p.on_access(1, 0x10000000, AccessKind::Write);
+  EXPECT_EQ(rig.p.census().shared_pages, 1u);
+  EXPECT_EQ(rig.p.census().private_pages, 0u);
+}
+
+TEST(RNuca, TlbShootdownOnReclassification) {
+  RNucaRig rig;
+  mem::Tlb tlb0({}, 4096), tlb1({}, 4096);
+  rig.p.set_tlbs({&tlb0, &tlb1});
+  tlb0.access(0x10000000);
+  rig.p.on_access(0, 0x10000000, AccessKind::Read);
+  rig.p.on_access(1, 0x10000000, AccessKind::Read);
+  EXPECT_FALSE(tlb0.contains(0x10000000));  // previous owner shot down
+}
+
+TEST(RNuca, DistinctPagesClassifyIndependently) {
+  RNucaRig rig;
+  rig.p.on_access(0, 0x10000000, AccessKind::Read);
+  rig.p.on_access(0, 0x10002000, AccessKind::Write);
+  rig.p.on_access(3, 0x10002000, AccessKind::Read);
+  const auto c = rig.p.census();
+  EXPECT_EQ(c.private_pages, 1u);
+  EXPECT_EQ(c.shared_pages, 1u);
+}

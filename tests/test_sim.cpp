@@ -1,0 +1,92 @@
+// Unit tests: event queue determinism and the Joiner completion helper.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/joiner.hpp"
+
+using namespace tdn;
+using namespace tdn::sim;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(30, [&] { order.push_back(3); });
+  eq.schedule_at(10, [&] { order.push_back(1); });
+  eq.schedule_at(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+  EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, SameCycleFifo) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) eq.schedule_at(5, [&, i] { order.push_back(i); });
+  eq.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsScheduleEvents) {
+  EventQueue eq;
+  int fired = 0;
+  eq.schedule_at(1, [&] {
+    eq.schedule_in(5, [&] { ++fired; });
+  });
+  eq.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eq.now(), 6u);
+}
+
+TEST(EventQueue, CannotScheduleInThePast) {
+  EventQueue eq;
+  eq.schedule_at(10, [&] {
+    EXPECT_THROW(eq.schedule_at(5, [] {}), RequireError);
+  });
+  eq.run();
+}
+
+TEST(EventQueue, RunUntilThrowsOnOverrun) {
+  EventQueue eq;
+  eq.schedule_at(100, [] {});
+  EXPECT_THROW(eq.run_until(50), RequireError);
+}
+
+TEST(EventQueue, ZeroDelaySameCycle) {
+  EventQueue eq;
+  bool ran = false;
+  eq.schedule_at(7, [&] { eq.schedule_in(0, [&] { ran = true; }); });
+  eq.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(Joiner, FiresWhenArmedAndDrained) {
+  bool done = false;
+  auto j = make_joiner([&] { done = true; });
+  j->add(2);
+  j->arm();
+  EXPECT_FALSE(done);
+  j->complete();
+  EXPECT_FALSE(done);
+  j->complete();
+  EXPECT_TRUE(done);
+}
+
+TEST(Joiner, FiresImmediatelyWhenNothingPending) {
+  bool done = false;
+  auto j = make_joiner([&] { done = true; });
+  j->arm();
+  EXPECT_TRUE(done);
+}
+
+TEST(Joiner, CompletionBeforeArmDoesNotFireTwice) {
+  int fires = 0;
+  auto j = make_joiner([&] { ++fires; });
+  j->add();
+  j->complete();
+  j->arm();
+  EXPECT_EQ(fires, 1);
+}

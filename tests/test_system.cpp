@@ -1,0 +1,138 @@
+// Tests of the TiledSystem builder: all policy kinds construct and run,
+// configurations fingerprint distinctly, stats export, and runs are
+// bit-deterministic.
+#include <gtest/gtest.h>
+
+#include "system/tiled_system.hpp"
+
+using namespace tdn;
+using namespace tdn::system;
+
+namespace {
+void tiny_program(TiledSystem& sys, int tasks = 8) {
+  auto& rt = sys.runtime();
+  for (int i = 0; i < tasks; ++i) {
+    const AddrRange r = sys.vspace().allocate(16 * kKiB, 64, "r");
+    const DepId d = rt.region(r, "r");
+    core::TaskProgram p;
+    core::AccessPhase ph;
+    ph.range = r;
+    ph.kind = (i % 2 != 0) ? AccessKind::Write : AccessKind::Read;
+    p.add_phase(ph);
+    rt.create_task("t", {{d, i % 2 != 0 ? DepUse::Out : DepUse::In}},
+                   std::move(p));
+  }
+}
+}  // namespace
+
+TEST(TiledSystem, AllPolicyKindsRun) {
+  for (const auto kind :
+       {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca,
+        PolicyKind::TdNucaBypassOnly, PolicyKind::TdNucaDryRun}) {
+    SystemConfig cfg;
+    cfg.policy = kind;
+    TiledSystem sys(cfg);
+    tiny_program(sys);
+    const Cycle c = sys.run(/*cycle_limit=*/50'000'000);
+    EXPECT_GT(c, 0u) << to_string(kind);
+    EXPECT_TRUE(sys.completed());
+  }
+}
+
+TEST(TiledSystem, PolicyAccessorsMatchKind) {
+  SystemConfig cfg;
+  cfg.policy = PolicyKind::RNuca;
+  TiledSystem sys(cfg);
+  EXPECT_NE(sys.rnuca_policy(), nullptr);
+  EXPECT_EQ(sys.tdnuca_policy(), nullptr);
+
+  cfg.policy = PolicyKind::TdNuca;
+  TiledSystem sys2(cfg);
+  EXPECT_NE(sys2.tdnuca_policy(), nullptr);
+  EXPECT_NE(sys2.tdnuca_hooks(), nullptr);
+  EXPECT_EQ(sys2.rnuca_policy(), nullptr);
+}
+
+TEST(TiledSystem, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    SystemConfig cfg;
+    cfg.policy = PolicyKind::TdNuca;
+    TiledSystem sys(cfg);
+    tiny_program(sys, 16);
+    sys.run();
+    return sys.collect_stats().all();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(TiledSystem, FingerprintSensitivity) {
+  SystemConfig a;
+  SystemConfig b;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.tdnuca.rrt_latency = 4;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  SystemConfig c;
+  c.policy = PolicyKind::TdNuca;
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  SystemConfig d;
+  d.hierarchy.llc_bank.size_bytes = 512 * kKiB;
+  EXPECT_NE(a.fingerprint(), d.fingerprint());
+}
+
+TEST(TiledSystem, CollectStatsHasHeadlineKeys) {
+  SystemConfig cfg;
+  cfg.policy = PolicyKind::TdNuca;
+  TiledSystem sys(cfg);
+  tiny_program(sys);
+  sys.run();
+  const auto r = sys.collect_stats();
+  for (const char* key :
+       {"sim.cycles", "llc.accesses", "llc.hit_ratio", "nuca.mean_distance",
+        "noc.router_bytes", "dram.accesses", "energy.llc_pj", "energy.noc_pj",
+        "tasks.completed", "rrt.lookups", "tdnuca.bypass_placements"}) {
+    EXPECT_TRUE(r.has(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(r.get("tasks.completed"), 8.0);
+}
+
+TEST(TiledSystem, EnergyBreakdownPositive) {
+  SystemConfig cfg;
+  TiledSystem sys(cfg);
+  tiny_program(sys);
+  sys.run();
+  const auto e = sys.energy();
+  EXPECT_GT(e.llc_pj, 0.0);
+  EXPECT_GT(e.noc_pj, 0.0);
+  EXPECT_GT(e.dram_pj, 0.0);
+  EXPECT_GT(e.total_pj(), e.llc_pj);
+  EXPECT_DOUBLE_EQ(e.rrt_pj, 0.0);  // S-NUCA has no RRTs
+}
+
+TEST(TiledSystem, RrtEnergyOnlyForTdNuca) {
+  SystemConfig cfg;
+  cfg.policy = PolicyKind::TdNuca;
+  TiledSystem sys(cfg);
+  tiny_program(sys);
+  sys.run();
+  EXPECT_GT(sys.energy().rrt_pj, 0.0);
+}
+
+TEST(TiledSystem, SmallerMeshWorks) {
+  SystemConfig cfg;
+  cfg.mesh_w = 2;
+  cfg.mesh_h = 2;
+  cfg.num_memory_controllers = 2;
+  cfg.policy = PolicyKind::TdNuca;
+  TiledSystem sys(cfg);
+  tiny_program(sys);
+  EXPECT_GT(sys.run(), 0u);
+}
+
+TEST(TiledSystem, CycleLimitGuards) {
+  SystemConfig cfg;
+  TiledSystem sys(cfg);
+  tiny_program(sys);
+  EXPECT_THROW(sys.run(/*cycle_limit=*/10), RequireError);
+}
