@@ -4,7 +4,7 @@
 // S-NUCA interleaving (paper Sec. III-B2 / V-E).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   harness::print_figure_header(
       "Ablation", "page-table fragmentation under TD-NUCA (workload: lu)");
@@ -27,5 +27,6 @@ int main() {
   std::printf("expected shape: occupancy and register overhead grow with "
               "fragmentation; performance degrades only once the 64-entry "
               "RRTs overflow.\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -4,7 +4,7 @@
 // gain is bandwidth-mediated (DESIGN.md decision on link sizing).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   harness::print_figure_header(
       "Ablation", "link bandwidth (workload: lu, speedup of TD-NUCA over "
@@ -26,5 +26,6 @@ int main() {
                    stats::Table::num(cycles[0] / cycles[1], 3)});
   }
   std::printf("%s", table.to_string().c_str());
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -4,7 +4,7 @@
 // set well beyond the LLC for exactly this reason, Table II).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   harness::print_figure_header(
       "Ablation", "LLC bank capacity (workload: redblack, speedup vs S-NUCA "
@@ -28,5 +28,6 @@ int main() {
                    stats::Table::num(cycles[0] / cycles[1], 3)});
   }
   std::printf("%s", table.to_string().c_str());
+  bench::obs_section(argc, argv);
   return 0;
 }

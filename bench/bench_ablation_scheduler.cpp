@@ -5,7 +5,7 @@
 // scheduler-agnostic by construction) cares.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   harness::print_figure_header("Ablation", "scheduler policy (cycles)");
   stats::Table table({"bench", "policy", "fifo", "affinity", "affinity/fifo"});
@@ -28,5 +28,6 @@ int main() {
     }
   }
   std::printf("%s", table.to_string().c_str());
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -2,7 +2,11 @@
 // simulation sweep, memoized on disk so the per-figure binaries share it.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "harness/figures.hpp"
@@ -23,6 +27,95 @@ inline std::vector<RunResult> suite(std::vector<PolicyKind> policies) {
 
 inline std::vector<RunResult> suite_srt() {
   return suite({PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca});
+}
+
+/// Every figure binary accepts the shared observability flags:
+///
+///   --trace PATH           Chrome trace_event JSON (open in Perfetto)
+///   --trace-coherence      also record per-transaction coherence instants
+///   --epochs PATH          epoch time-series CSV
+///   --epochs-json PATH     epoch time-series JSON
+///   --heatmaps PATH        end-of-run heatmaps, aligned text
+///   --heatmaps-json PATH   end-of-run heatmaps, JSON
+///   --epoch-cycles N       sampling period in simulated cycles
+///   --obs-workload NAME    workload to instrument (default gauss)
+///   --obs-policy NAME      snuca | rnuca | tdnuca | bypass | dryrun
+///
+/// If any output flag is present, one instrumented experiment runs (cache
+/// bypassed) and a "tdn obs" section reports the artifacts. The figure
+/// output itself is unaffected: recording never changes simulation results.
+inline void obs_section(int argc, char** argv) {
+  harness::RunConfig cfg;
+  // gauss keeps real LLC bank traffic under TD-NUCA (jacobi bypasses ~all of
+  // it, which would make the default bank heatmaps identically zero).
+  cfg.workload = "gauss";
+  cfg.policy = PolicyKind::TdNuca;
+  auto val = [&](int& i) -> std::string {
+    return i + 1 < argc ? argv[++i] : "";
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace") cfg.obs.trace_path = val(i);
+    else if (a == "--trace-coherence") cfg.obs.trace_coherence = true;
+    else if (a == "--epochs") cfg.obs.epochs_csv_path = val(i);
+    else if (a == "--epochs-json") cfg.obs.epochs_json_path = val(i);
+    else if (a == "--heatmaps") cfg.obs.heatmaps_path = val(i);
+    else if (a == "--heatmaps-json") cfg.obs.heatmaps_json_path = val(i);
+    else if (a == "--epoch-cycles") cfg.obs.epoch_cycles = std::strtoull(val(i).c_str(), nullptr, 10);
+    else if (a == "--obs-workload") cfg.workload = val(i);
+    else if (a == "--obs-policy") {
+      const std::string p = val(i);
+      if (p == "snuca") cfg.policy = PolicyKind::SNuca;
+      else if (p == "rnuca") cfg.policy = PolicyKind::RNuca;
+      else if (p == "tdnuca") cfg.policy = PolicyKind::TdNuca;
+      else if (p == "bypass") cfg.policy = PolicyKind::TdNucaBypassOnly;
+      else if (p == "dryrun") cfg.policy = PolicyKind::TdNucaDryRun;
+      else std::fprintf(stderr, "unknown --obs-policy '%s'\n", p.c_str());
+    }
+  }
+  if (!cfg.obs.any()) return;
+
+  harness::ObsArtifacts arts;
+  harness::run_experiment(cfg, /*use_cache=*/true, &arts);
+
+  std::printf("\n== tdn obs ==\n");
+  std::printf("instrumented run: %s / %s (epoch = %llu cycles)\n",
+              cfg.workload.c_str(), system::to_string(cfg.policy),
+              static_cast<unsigned long long>(cfg.obs.epoch_cycles));
+  if (!cfg.obs.trace_path.empty()) {
+    std::printf("trace:    %s  (%zu events) — open in https://ui.perfetto.dev "
+                "or chrome://tracing\n",
+                cfg.obs.trace_path.c_str(), arts.trace_events);
+  }
+  if (!cfg.obs.epochs_csv_path.empty() || !cfg.obs.epochs_json_path.empty()) {
+    std::printf("epochs:   %s%s%s  (%zu rows x %zu series)\n",
+                cfg.obs.epochs_csv_path.c_str(),
+                !cfg.obs.epochs_csv_path.empty() &&
+                        !cfg.obs.epochs_json_path.empty()
+                    ? ", "
+                    : "",
+                cfg.obs.epochs_json_path.c_str(), arts.epoch_rows,
+                arts.epoch_series);
+  }
+  if (!cfg.obs.heatmaps_path.empty() || !cfg.obs.heatmaps_json_path.empty()) {
+    std::printf("heatmaps: %s%s%s  (%zu matrices)\n",
+                cfg.obs.heatmaps_path.c_str(),
+                !cfg.obs.heatmaps_path.empty() &&
+                        !cfg.obs.heatmaps_json_path.empty()
+                    ? ", "
+                    : "",
+                cfg.obs.heatmaps_json_path.c_str(), arts.heatmaps);
+  }
+  for (const std::string* p :
+       {&cfg.obs.trace_path, &cfg.obs.epochs_csv_path,
+        &cfg.obs.epochs_json_path, &cfg.obs.heatmaps_path,
+        &cfg.obs.heatmaps_json_path}) {
+    if (p->empty()) continue;
+    if (std::find(arts.files_written.begin(), arts.files_written.end(), *p) ==
+        arts.files_written.end()) {
+      std::printf("WRITE FAILED: %s\n", p->c_str());
+    }
+  }
 }
 
 inline void print_normalized(const std::string& id, const std::string& caption,

@@ -3,7 +3,7 @@
 // (right bar), per benchmark.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite({PolicyKind::RNuca, PolicyKind::TdNuca});
 
@@ -46,5 +46,6 @@ int main() {
   std::printf("note: 'notreused' counts blocks whose dependency actually "
               "bypassed the LLC at some point; overlapping dependencies are "
               "deduplicated smallest-first — see DESIGN.md.\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -2,7 +2,7 @@
 // the S-NUCA baseline, per benchmark, with the paper's values alongside.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
 
@@ -27,5 +27,6 @@ int main() {
   std::printf("R-NUCA measured geomean: %.3f   paper average: %.3f\n",
               harness::geometric_mean(r_speedups),
               harness::paper::kFig8AvgRnuca);
+  bench::obs_section(argc, argv);
   return 0;
 }

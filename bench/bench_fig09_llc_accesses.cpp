@@ -1,7 +1,7 @@
 // Regenerates paper Fig. 9: LLC accesses normalized to S-NUCA.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::NormalizedFigure fig;
@@ -15,5 +15,6 @@ int main() {
                    "per-bench paper values are figure estimates except KNN "
                    "0.99 / MD5 0.14)",
                    fig, results);
+  bench::obs_section(argc, argv);
   return 0;
 }

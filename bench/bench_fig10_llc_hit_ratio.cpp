@@ -1,7 +1,7 @@
 // Regenerates paper Fig. 10: absolute LLC hit ratios (no normalization).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::print_figure_header("Fig. 10", "LLC hit ratio (absolute)");
@@ -31,5 +31,6 @@ int main() {
               harness::paper::kFig10AvgHitTd);
   std::printf("note: TD-NUCA's hit ratio excludes bypassed accesses, which "
               "never touch the LLC.\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -2,7 +2,7 @@
 // core to serving LLC bank; bypassed accesses excluded, local bank = 0).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::print_figure_header("Fig. 11", "average NUCA distance (hops)");
@@ -31,5 +31,6 @@ int main() {
               "TD-NUCA %.2f\n",
               harness::paper::kFig11DistS, harness::paper::kFig11DistR,
               harness::paper::kFig11DistTd);
+  bench::obs_section(argc, argv);
   return 0;
 }

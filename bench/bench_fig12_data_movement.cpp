@@ -2,7 +2,7 @@
 // routers) normalized to S-NUCA.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::NormalizedFigure fig;
@@ -15,5 +15,6 @@ int main() {
                    "NoC data movement normalized to S-NUCA "
                    "(paper avgs: R-NUCA 0.84, TD-NUCA 0.62)",
                    fig, results);
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -3,7 +3,7 @@
 // cluster replication *increases* LLC energy.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::NormalizedFigure fig;
@@ -16,5 +16,6 @@ int main() {
                    "LLC dynamic energy normalized to S-NUCA "
                    "(paper: TD-NUCA avg 0.52, best Jacobi 0.10, LU > 1)",
                    fig, results);
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -1,7 +1,7 @@
 // Regenerates paper Fig. 14: NoC dynamic energy normalized to S-NUCA.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite_srt();
   harness::NormalizedFigure fig;
@@ -14,5 +14,6 @@ int main() {
                    "NoC dynamic energy normalized to S-NUCA "
                    "(paper: TD-NUCA 0.55-0.80, avg 0.64; R-NUCA avg 0.88)",
                    fig, results);
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -4,7 +4,7 @@
 // barrier-separated stencils, partial on Gauss (paper avg 1.06 vs 1.18).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite({PolicyKind::SNuca, PolicyKind::TdNucaBypassOnly,
                               PolicyKind::TdNuca});
@@ -31,5 +31,6 @@ int main() {
   std::printf("bypass-only measured geomean: %.3f   paper average: %.3f\n",
               harness::geometric_mean(byp),
               harness::paper::kFig15AvgBypassOnly);
+  bench::obs_section(argc, argv);
   return 0;
 }

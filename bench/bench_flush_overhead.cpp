@@ -4,7 +4,7 @@
 // proportion of Out dependencies).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite({PolicyKind::TdNuca});
   harness::print_figure_header("Sec. V-E",
@@ -21,5 +21,6 @@ int main() {
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("paper: <0.1%% in all benchmarks except Histo (0.49%%)\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

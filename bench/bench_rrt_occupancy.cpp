@@ -3,7 +3,7 @@
 // Gauss/Histo/Kmeans/KNN, up to 59 in Redblack; 64 entries always suffice).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite({PolicyKind::TdNuca});
   harness::print_figure_header("Sec. V-E", "RRT occupancy (entries per core)");
@@ -22,5 +22,6 @@ int main() {
   std::printf("%s", table.to_string().c_str());
   std::printf("paper: 14.71 mean occupancy; maxima 23-59 depending on task "
               "size; 64 entries always sufficient\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -5,7 +5,7 @@
 // Paper: 0.01% average, below 0.03% in all benchmarks.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const auto results = suite({PolicyKind::SNuca, PolicyKind::TdNucaDryRun});
   harness::print_figure_header(
@@ -29,5 +29,6 @@ int main() {
   std::printf("%s", table.to_string().c_str());
   std::printf("paper: 0.01%% average, <0.03%% everywhere (dominated by the "
               "placement-decision algorithm)\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -4,7 +4,7 @@
 // Paper: 1 cycle costs 0.1%; 2/3/4 cycles cost 0.5% / 1.1% / 1.9% on average.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bench;
   const std::vector<std::string> wls = {"lu", "knn", "jacobi"};
   harness::print_figure_header(
@@ -36,5 +36,6 @@ int main() {
   std::printf("%s", table.to_string().c_str());
   std::printf("paper averages: 1 cyc 0.1%%, 2 cyc 0.5%%, 3 cyc 1.1%%, "
               "4 cyc 1.9%%\n");
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -3,10 +3,11 @@
 // (scaling rules in DESIGN.md Sec. 6).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "stats/table.hpp"
 #include "system/config.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdn;
   system::SystemConfig cfg;
   stats::Table t({"parameter", "paper (gem5)", "this reproduction"});
@@ -48,5 +49,6 @@ int main() {
                  stats::Table::num(cfg.page_table.fragmentation, 2)});
   std::printf("=== Table I: simulator configuration ===\n%s",
               t.to_string().c_str());
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -3,11 +3,12 @@
 // (ratios to the LLC capacity are the preserved quantity, DESIGN.md Sec. 6).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "stats/table.hpp"
 #include "system/tiled_system.hpp"
 #include "workloads/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tdn;
   struct PaperRow {
     const char* bench;
@@ -46,5 +47,6 @@ int main() {
   }
   std::printf("=== Table II: benchmarks, problem and task sizes ===\n%s",
               t.to_string().c_str());
+  bench::obs_section(argc, argv);
   return 0;
 }

@@ -1,5 +1,8 @@
 #include "coherence/coherent_system.hpp"
 
+#include <sstream>
+
+#include "obs/recorder.hpp"
 #include "sim/joiner.hpp"
 
 namespace tdn::coherence {
@@ -9,9 +12,9 @@ using noc::MsgClass;
 CoherentSystem::CoherentSystem(sim::EventQueue& eq, noc::Network& net,
                                const noc::Mesh& mesh, mem::MemControllers& mcs,
                                nuca::MappingPolicy& policy, HierarchyConfig cfg,
-                               unsigned num_cores)
+                               unsigned num_cores, obs::Recorder* rec)
     : eq_(eq), net_(net), mesh_(mesh), mcs_(mcs), policy_(policy), cfg_(cfg),
-      num_cores_(num_cores) {
+      num_cores_(num_cores), rec_(rec) {
   TDN_REQUIRE(num_cores_ > 0 && num_cores_ <= mesh.tiles(),
               "core count must fit the mesh");
   // Skip the bank-interleave bits when indexing sets inside a bank; see
@@ -136,13 +139,23 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
     bb.next_free = start + cfg_.bank_service_interval;
     eq_.schedule_at(start + cfg_.llc_latency, [this, bank, requester, line, kind] {
       stats_.llc_requests.inc();
+      ++banks_[bank].counters.requests;
       auto* ln = banks_[bank].array.find(line);
+      if (rec_ != nullptr && rec_->coherence_on()) {
+        std::ostringstream args;
+        args << "\"bank\":" << bank << ",\"core\":" << requester
+             << ",\"hit\":" << (ln != nullptr ? "true" : "false");
+        rec_->instant(obs::Recorder::kCoherenceTrack, "coherence",
+                      kind == AccessKind::Read ? "GetS" : "GetX", args.str());
+      }
       if (ln == nullptr) {
         stats_.llc_misses.inc();
+        ++banks_[bank].counters.misses;
         bank_fetch_from_memory(bank, requester, line, kind);
         return;
       }
       stats_.llc_hits.inc();
+      ++banks_[bank].counters.hits;
       banks_[bank].array.touch(line);
       if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
       else bank_respond_write(bank, requester, line);
@@ -310,6 +323,7 @@ void CoherentSystem::bank_unblock(BankId bank, Addr line) {
 
 void CoherentSystem::bank_writeback(BankId bank, CoreId from, Addr line) {
   stats_.llc_writebacks.inc();
+  ++banks_[bank].counters.writebacks;
   auto* ln = banks_[bank].array.find(line);
   if (ln == nullptr) {
     // The line was evicted from the (inclusive) LLC while the PutM crossed a
@@ -368,6 +382,10 @@ bool CoherentSystem::l1_invalidate(CoreId core, Addr line,
 void CoherentSystem::bypass_fetch(CoreId core, Addr line, AccessKind kind,
                                   Cycle /*issued_at*/) {
   stats_.bypass_reads.inc();
+  if (rec_ != nullptr && rec_->coherence_on()) {
+    rec_->instant(obs::Recorder::kCoherenceTrack, "coherence", "bypass",
+                  "\"core\":" + std::to_string(core));
+  }
   const unsigned mc = mcs_.index_for(line);
   const CoreId mc_tile = mcs_.tile_of(mc);
   net_.send(core, mc_tile, MsgClass::Control, [this, core, line, kind, mc, mc_tile] {
@@ -396,9 +414,20 @@ void CoherentSystem::memory_writeback(CoreId from_tile, Addr line) {
 
 void CoherentSystem::flush_l1_range(CoreMask cores, const AddrRange& prange,
                                     std::function<void()> done) {
-  auto join = sim::make_joiner(std::move(done));
   const std::uint64_t range_lines =
       prange.size() / cfg_.l1.line_size + (prange.size() % cfg_.l1.line_size ? 1 : 0);
+  if (rec_ != nullptr && rec_->trace_on()) {
+    // Wrap the completion so the span carries the flush's true duration.
+    const Cycle start = eq_.now();
+    std::ostringstream args;
+    args << "\"cores\":" << cores.count() << ",\"lines\":" << range_lines;
+    done = [this, start, a = args.str(), inner = std::move(done)] {
+      rec_->span(obs::Recorder::kFlushTrack, "flush", "flush.l1", start,
+                 eq_.now() - start, a);
+      if (inner) inner();
+    };
+  }
+  auto join = sim::make_joiner(std::move(done));
   const Cycle scan_cycles =
       (range_lines + cfg_.flush_lines_per_cycle - 1) / cfg_.flush_lines_per_cycle;
   cores.for_each([&](CoreId c) {
@@ -444,9 +473,19 @@ void CoherentSystem::flush_l1_range(CoreMask cores, const AddrRange& prange,
 
 void CoherentSystem::flush_llc_range(BankMask banks, const AddrRange& prange,
                                      std::function<void()> done) {
-  auto join = sim::make_joiner(std::move(done));
   const std::uint64_t range_lines =
       prange.size() / cfg_.l1.line_size + (prange.size() % cfg_.l1.line_size ? 1 : 0);
+  if (rec_ != nullptr && rec_->trace_on()) {
+    const Cycle start = eq_.now();
+    std::ostringstream args;
+    args << "\"banks\":" << banks.count() << ",\"lines\":" << range_lines;
+    done = [this, start, a = args.str(), inner = std::move(done)] {
+      rec_->span(obs::Recorder::kFlushTrack, "flush", "flush.llc", start,
+                 eq_.now() - start, a);
+      if (inner) inner();
+    };
+  }
+  auto join = sim::make_joiner(std::move(done));
   const Cycle scan_cycles =
       (range_lines + cfg_.flush_lines_per_cycle - 1) / cfg_.flush_lines_per_cycle;
   banks.for_each([&](CoreId bank) {

@@ -39,6 +39,10 @@
 #include "sim/joiner.hpp"
 #include "stats/counters.hpp"
 
+namespace tdn::obs {
+class Recorder;
+}
+
 namespace tdn::coherence {
 
 /// Per-line private cache state.
@@ -60,9 +64,12 @@ struct LlcMeta {
 
 class CoherentSystem final : public nuca::CacheOps {
  public:
+  /// @p rec (optional) receives flush spans and coherence-transaction
+  /// instants; it observes only and never alters timing.
   CoherentSystem(sim::EventQueue& eq, noc::Network& net, const noc::Mesh& mesh,
                  mem::MemControllers& mcs, nuca::MappingPolicy& policy,
-                 HierarchyConfig cfg, unsigned num_cores);
+                 HierarchyConfig cfg, unsigned num_cores,
+                 obs::Recorder* rec = nullptr);
 
   // --- core-facing demand path ---------------------------------------
   /// Perform one memory reference. @p done receives the cycle at which the
@@ -112,6 +119,24 @@ class CoherentSystem final : public nuca::CacheOps {
   Cycle flush_busy_cycles(CoreId core) const { return l1s_.at(core).flush_busy; }
   std::uint64_t llc_resident_lines() const;
 
+  /// Per-bank request breakdown — always accounted (it feeds the Registry's
+  /// llc.bankN.* keys, the obs epoch sampler and the bank heatmap).
+  struct BankCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+  };
+  const BankCounters& bank_counters(BankId bank) const {
+    return banks_.at(bank).counters;
+  }
+  std::uint64_t bank_occupied_lines(BankId bank) const {
+    return banks_.at(bank).array.occupied_lines();
+  }
+  std::uint64_t bank_capacity_lines() const {
+    return cfg_.llc_bank.size_bytes / cfg_.llc_bank.line_size;
+  }
+
   unsigned num_cores() const noexcept { return num_cores_; }
   const HierarchyConfig& config() const noexcept { return cfg_; }
 
@@ -126,6 +151,7 @@ class CoherentSystem final : public nuca::CacheOps {
   struct Bank {
     explicit Bank(const HierarchyConfig& cfg) : array(cfg.llc_bank) {}
     cache::CacheArray<LlcMeta> array;
+    BankCounters counters;
     Cycle next_free = 0;
     /// Blocking directory: blocked[line] holds actions to replay once the
     /// in-flight transaction on that line completes.
@@ -170,6 +196,7 @@ class CoherentSystem final : public nuca::CacheOps {
   nuca::MappingPolicy& policy_;
   HierarchyConfig cfg_;
   unsigned num_cores_;
+  obs::Recorder* rec_;
 
   std::vector<L1> l1s_;
   std::vector<Bank> banks_;

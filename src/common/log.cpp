@@ -1,14 +1,34 @@
 #include "common/log.hpp"
 
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 namespace tdn::log {
 
 namespace {
-std::atomic<Level> g_level{Level::Warn};
+
+constexpr std::size_t kSubs = static_cast<std::size_t>(Sub::kCount);
+
+using LevelArray = std::array<std::atomic<Level>, kSubs>;
+
+bool apply_spec(LevelArray& a, const std::string& spec);
+
+struct Levels {
+  LevelArray a;
+  Levels() {
+    for (auto& l : a) l.store(Level::Warn, std::memory_order_relaxed);
+    // The env var applies at first logger use, so every tool linking the
+    // library honours TDN_LOG without an explicit init_from_env() call.
+    if (const char* v = std::getenv("TDN_LOG")) apply_spec(a, v);
+  }
+};
+
+LevelArray& levels() {
+  static Levels g;
+  return g.a;
+}
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -21,24 +41,118 @@ const char* level_name(Level lvl) {
   }
   return "?";
 }
+
+bool parse_level(const std::string& s, Level& out) {
+  if (s == "trace") out = Level::Trace;
+  else if (s == "debug") out = Level::Debug;
+  else if (s == "info") out = Level::Info;
+  else if (s == "warn") out = Level::Warn;
+  else if (s == "error") out = Level::Error;
+  else if (s == "off") out = Level::Off;
+  else return false;
+  return true;
+}
+
+bool parse_sub(const std::string& s, Sub& out) {
+  for (std::size_t i = 0; i < kSubs; ++i) {
+    if (s == sub_name(static_cast<Sub>(i))) {
+      out = static_cast<Sub>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Operates on an explicit array so the Levels constructor can use it while
+// the levels() magic static is still being initialised.
+bool apply_spec(LevelArray& a, const std::string& spec) {
+  bool ok = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    Level lvl;
+    if (eq == std::string::npos) {
+      // Bare level: applies to every subsystem (legacy single-level syntax).
+      if (parse_level(entry, lvl)) {
+        for (auto& l : a) l.store(lvl, std::memory_order_relaxed);
+      } else {
+        ok = false;
+      }
+      continue;
+    }
+    Sub sub;
+    if (parse_sub(entry.substr(0, eq), sub) &&
+        parse_level(entry.substr(eq + 1), lvl)) {
+      a[static_cast<std::size_t>(sub)].store(lvl, std::memory_order_relaxed);
+    } else {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
-Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
-void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+const char* sub_name(Sub sub) noexcept {
+  switch (sub) {
+    case Sub::General: return "general";
+    case Sub::Sim: return "sim";
+    case Sub::Mem: return "mem";
+    case Sub::Noc: return "noc";
+    case Sub::Cache: return "cache";
+    case Sub::Coherence: return "coherence";
+    case Sub::Core: return "core";
+    case Sub::Runtime: return "runtime";
+    case Sub::TdNuca: return "tdnuca";
+    case Sub::Nuca: return "nuca";
+    case Sub::Energy: return "energy";
+    case Sub::System: return "system";
+    case Sub::Workload: return "workload";
+    case Sub::Harness: return "harness";
+    case Sub::Obs: return "obs";
+    case Sub::kCount: break;
+  }
+  return "?";
+}
+
+Level level() noexcept { return level(Sub::General); }
+
+Level level(Sub sub) noexcept {
+  return levels()[static_cast<std::size_t>(sub)].load(std::memory_order_relaxed);
+}
+
+void set_level(Level lvl) noexcept {
+  for (auto& l : levels()) l.store(lvl, std::memory_order_relaxed);
+}
+
+void set_level(Sub sub, Level lvl) noexcept {
+  levels()[static_cast<std::size_t>(sub)].store(lvl, std::memory_order_relaxed);
+}
+
+bool configure(const std::string& spec) { return apply_spec(levels(), spec); }
 
 void init_from_env() {
   const char* v = std::getenv("TDN_LOG");
   if (v == nullptr) return;
-  if (std::strcmp(v, "trace") == 0) set_level(Level::Trace);
-  else if (std::strcmp(v, "debug") == 0) set_level(Level::Debug);
-  else if (std::strcmp(v, "info") == 0) set_level(Level::Info);
-  else if (std::strcmp(v, "warn") == 0) set_level(Level::Warn);
-  else if (std::strcmp(v, "error") == 0) set_level(Level::Error);
-  else if (std::strcmp(v, "off") == 0) set_level(Level::Off);
+  configure(v);
 }
 
 void write(Level lvl, const std::string& msg) {
   std::fprintf(stderr, "[tdn %-5s] %s\n", level_name(lvl), msg.c_str());
+}
+
+void write(Level lvl, Sub sub, const std::string& msg) {
+  if (sub == Sub::General) {
+    write(lvl, msg);
+    return;
+  }
+  std::fprintf(stderr, "[tdn %-5s %s] %s\n", level_name(lvl), sub_name(sub),
+               msg.c_str());
 }
 
 }  // namespace tdn::log

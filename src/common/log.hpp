@@ -1,5 +1,11 @@
-// Minimal leveled logging. The simulator is a library, so logging defaults to
-// Warn and is controlled programmatically (or via TDN_LOG env var in tools).
+// Minimal leveled logging with per-subsystem levels. The simulator is a
+// library, so logging defaults to Warn and is controlled programmatically
+// (or via the TDN_LOG env var in tools).
+//
+// TDN_LOG accepts either a single level ("debug") or a comma-separated spec
+// with per-subsystem overrides: "info,noc=debug,cache=trace". The bare level
+// (if present) applies to every subsystem first; named entries then override
+// individual subsystems.
 #pragma once
 
 #include <sstream>
@@ -9,24 +15,56 @@ namespace tdn::log {
 
 enum class Level { Trace, Debug, Info, Warn, Error, Off };
 
-Level level() noexcept;
-void set_level(Level lvl) noexcept;
-/// Read TDN_LOG=trace|debug|info|warn|error|off, if present.
+/// Log-producing subsystems, mirroring the src/ module layout.
+enum class Sub {
+  General,
+  Sim,
+  Mem,
+  Noc,
+  Cache,
+  Coherence,
+  Core,
+  Runtime,
+  TdNuca,
+  Nuca,
+  Energy,
+  System,
+  Workload,
+  Harness,
+  Obs,
+  kCount,
+};
+
+Level level() noexcept;  ///< General subsystem level.
+Level level(Sub sub) noexcept;
+void set_level(Level lvl) noexcept;  ///< Sets every subsystem.
+void set_level(Sub sub, Level lvl) noexcept;
+
+/// Apply a TDN_LOG-style spec ("info", "noc=debug", "info,noc=debug,...").
+/// Applies every valid entry; returns false if any entry failed to parse.
+bool configure(const std::string& spec);
+/// Read the TDN_LOG env var, if present, through configure().
 void init_from_env();
 
+const char* sub_name(Sub sub) noexcept;
+
 void write(Level lvl, const std::string& msg);
+void write(Level lvl, Sub sub, const std::string& msg);
 
 }  // namespace tdn::log
 
-#define TDN_LOG(lvl, stream_expr)                              \
+#define TDN_LOG_AT(sub, lvl, stream_expr)                      \
   do {                                                         \
     if (static_cast<int>(lvl) >=                               \
-        static_cast<int>(::tdn::log::level())) {               \
+        static_cast<int>(::tdn::log::level(sub))) {            \
       std::ostringstream tdn_log_os;                           \
       tdn_log_os << stream_expr;                               \
-      ::tdn::log::write((lvl), tdn_log_os.str());              \
+      ::tdn::log::write((lvl), (sub), tdn_log_os.str());       \
     }                                                          \
   } while (false)
+
+#define TDN_LOG(lvl, stream_expr) \
+  TDN_LOG_AT(::tdn::log::Sub::General, lvl, stream_expr)
 
 #define TDN_LOG_DEBUG(s) TDN_LOG(::tdn::log::Level::Debug, s)
 #define TDN_LOG_INFO(s) TDN_LOG(::tdn::log::Level::Info, s)

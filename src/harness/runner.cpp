@@ -89,11 +89,22 @@ void add_fig3_rnuca(system::TiledSystem& sys,
 
 }  // namespace
 
+obs::RecorderConfig ObsOptions::recorder_config() const {
+  obs::RecorderConfig rc;
+  rc.trace = !trace_path.empty();
+  rc.epochs = !epochs_csv_path.empty() || !epochs_json_path.empty();
+  rc.heatmaps = !heatmaps_path.empty() || !heatmaps_json_path.empty();
+  rc.trace_coherence = trace_coherence;
+  rc.epoch_cycles = epoch_cycles;
+  return rc;
+}
+
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v2": derived-metric schema version; bump to invalidate cached results
-  // when the metric extraction changes.
-  os << "v2/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // "v3": derived-metric schema version; bump to invalidate cached results
+  // when the metric extraction changes (v3 added the per-bank llc.bankN.*
+  // keys).
+  os << "v3/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
      << sys.fingerprint();
   const std::string s = os.str();
@@ -106,12 +117,19 @@ double RunResult::get(const std::string& key) const {
   return it->second;
 }
 
-RunResult run_experiment(const RunConfig& cfg, bool use_cache) {
+RunResult run_experiment(const RunConfig& cfg, bool use_cache,
+                         ObsArtifacts* artifacts) {
   RunResult result;
   result.workload = cfg.workload;
   system::SystemConfig sys_cfg = cfg.sys;
   sys_cfg.policy = cfg.policy;
   result.policy = system::to_string(cfg.policy);
+
+  // A cached run never re-simulates and so cannot produce observability
+  // artifacts: recording forces a fresh simulation (results are identical —
+  // the recorder only observes).
+  const bool obs_active = cfg.obs.any();
+  if (obs_active) use_cache = false;
 
   const std::string key = cache_key(cfg);
   if (use_cache) {
@@ -121,10 +139,29 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache) {
     }
   }
 
-  system::TiledSystem sys(sys_cfg);
+  obs::Recorder rec(cfg.obs.recorder_config());
+  system::TiledSystem sys(sys_cfg, obs_active ? &rec : nullptr);
   auto wl = workloads::make_workload(cfg.workload, cfg.params);
   wl->build(sys);
   sys.run();
+
+  if (obs_active) {
+    ObsArtifacts arts;
+    arts.trace_events = rec.trace_events();
+    arts.epoch_rows = rec.epoch_rows();
+    arts.epoch_series = rec.epoch_series();
+    arts.heatmaps = rec.heatmap_count();
+    auto emit = [&](const std::string& path, const std::string& content) {
+      if (path.empty()) return;
+      if (obs::write_file(path, content)) arts.files_written.push_back(path);
+    };
+    emit(cfg.obs.trace_path, rec.trace_json());
+    emit(cfg.obs.epochs_csv_path, rec.epochs_csv());
+    emit(cfg.obs.epochs_json_path, rec.epochs_json());
+    emit(cfg.obs.heatmaps_path, rec.heatmaps_text());
+    emit(cfg.obs.heatmaps_json_path, rec.heatmaps_json());
+    if (artifacts != nullptr) *artifacts = std::move(arts);
+  }
 
   result.metrics = sys.collect_stats().all();
   const auto& ws = wl->stats();

@@ -9,16 +9,49 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "system/tiled_system.hpp"
 #include "workloads/workload.hpp"
 
 namespace tdn::harness {
+
+/// Observability sinks for one experiment. Empty paths disable the
+/// corresponding sink; any non-empty path makes the run bypass the results
+/// cache (a memoized run never re-simulates, so it cannot produce a trace).
+/// None of these fields enter the fingerprint — recording never changes the
+/// simulation's results.
+struct ObsOptions {
+  std::string trace_path;         ///< Chrome trace_event JSON (Perfetto)
+  std::string epochs_csv_path;    ///< epoch time-series, CSV
+  std::string epochs_json_path;   ///< epoch time-series, JSON
+  std::string heatmaps_path;      ///< end-of-run heatmaps, aligned text
+  std::string heatmaps_json_path; ///< end-of-run heatmaps, JSON
+  Cycle epoch_cycles = 10'000;
+  bool trace_coherence = false;   ///< per-transaction instants (high volume)
+
+  bool any() const noexcept {
+    return !trace_path.empty() || !epochs_csv_path.empty() ||
+           !epochs_json_path.empty() || !heatmaps_path.empty() ||
+           !heatmaps_json_path.empty();
+  }
+  obs::RecorderConfig recorder_config() const;
+};
+
+/// What an obs-enabled run produced (sizes + the files actually written).
+struct ObsArtifacts {
+  std::size_t trace_events = 0;
+  std::size_t epoch_rows = 0;
+  std::size_t epoch_series = 0;
+  std::size_t heatmaps = 0;
+  std::vector<std::string> files_written;
+};
 
 struct RunConfig {
   std::string workload;
   system::PolicyKind policy = system::PolicyKind::SNuca;
   workloads::WorkloadParams params{};
   system::SystemConfig sys{};  ///< policy field is overridden by `policy`
+  ObsOptions obs{};            ///< not fingerprinted; see ObsOptions
 
   std::uint64_t fingerprint() const;
 };
@@ -32,8 +65,12 @@ struct RunResult {
   bool has(const std::string& key) const { return metrics.count(key) != 0; }
 };
 
-/// Run one experiment (or fetch it from the cache).
-RunResult run_experiment(const RunConfig& cfg, bool use_cache = true);
+/// Run one experiment (or fetch it from the cache). When cfg.obs requests
+/// any sink the cache is bypassed, the artifacts are written to the
+/// configured paths, and @p artifacts (if non-null) reports what was
+/// produced.
+RunResult run_experiment(const RunConfig& cfg, bool use_cache = true,
+                         ObsArtifacts* artifacts = nullptr);
 
 /// Run the full 8-benchmark suite for the given policies.
 std::vector<RunResult> run_suite(const std::vector<system::PolicyKind>& policies,

@@ -31,6 +31,11 @@ class MemController {
   std::uint64_t writes() const noexcept { return writes_.value(); }
   std::uint64_t accesses() const noexcept { return reads() + writes(); }
   double mean_queue_delay() const noexcept { return queue_delay_.mean(); }
+  /// Cycle until which the controller is committed to already-issued
+  /// requests; (busy_until - now) / service_interval is the instantaneous
+  /// queue depth the obs epoch sampler reports.
+  Cycle busy_until() const noexcept { return next_free_; }
+  const DramConfig& config() const noexcept { return cfg_; }
 
  private:
   DramConfig cfg_;

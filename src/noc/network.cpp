@@ -8,19 +8,29 @@ namespace tdn::noc {
 
 Network::Network(const Mesh& mesh, sim::EventQueue& eq, NetworkConfig cfg)
     : mesh_(mesh), eq_(eq), cfg_(cfg), links_(mesh.tiles()),
+      link_bytes_(mesh.tiles(), {0, 0, 0, 0}),
       per_router_bytes_(mesh.tiles(), 0) {
   TDN_REQUIRE(cfg_.link_bytes_per_cycle > 0, "link bandwidth must be positive");
 }
 
-Network::Link& Network::link_between(CoreId from, CoreId to) {
+unsigned Network::dir_between(CoreId from, CoreId to) const {
   const Coord a = mesh_.coord(from);
   const Coord b = mesh_.coord(to);
-  unsigned dir;
-  if (b.x == a.x + 1) dir = 0;       // east
-  else if (a.x == b.x + 1) dir = 1;  // west
-  else if (b.y == a.y + 1) dir = 3;  // south (y grows downward)
-  else dir = 2;                      // north
-  return links_[from][dir];
+  if (b.x == a.x + 1) return 0;  // east
+  if (a.x == b.x + 1) return 1;  // west
+  if (b.y == a.y + 1) return 3;  // south (y grows downward)
+  return 2;                      // north
+}
+
+bool Network::has_link(CoreId tile, unsigned dir) const {
+  const Coord c = mesh_.coord(tile);
+  switch (dir) {
+    case 0: return c.x + 1 < mesh_.width();
+    case 1: return c.x > 0;
+    case 2: return c.y > 0;
+    case 3: return c.y + 1 < mesh_.height();
+  }
+  return false;
 }
 
 void Network::send(CoreId src, CoreId dst, MsgClass cls,
@@ -43,7 +53,9 @@ void Network::send(CoreId src, CoreId dst, MsgClass cls,
   const Cycle serialization =
       (bytes + cfg_.link_bytes_per_cycle - 1) / cfg_.link_bytes_per_cycle;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    Link& link = link_between(path[i], path[i + 1]);
+    const unsigned dir = dir_between(path[i], path[i + 1]);
+    Link& link = links_[path[i]][dir];
+    link_bytes_[path[i]][dir] += bytes;
     const Cycle depart = t > link.next_free ? t : link.next_free;
     link.next_free = depart + serialization;
     t = depart + cfg_.router_latency + cfg_.link_latency;

@@ -60,17 +60,35 @@ class Network {
   double mean_latency() const noexcept { return latency_.mean(); }
   std::uint64_t total_hops() const noexcept { return hops_total_; }
 
+  // --- per-link traffic (obs epoch sampler / heatmaps) ------------------
+  /// Directional links are indexed (tile, dir) with dir 0=E,1=W,2=N,3=S:
+  /// the link leaving @p tile toward that neighbour.
+  static constexpr unsigned kLinkDirs = 4;
+  static const char* dir_name(unsigned dir) noexcept {
+    constexpr const char* names[kLinkDirs] = {"e", "w", "n", "s"};
+    return dir < kLinkDirs ? names[dir] : "?";
+  }
+  /// Whether @p tile has a neighbour in direction @p dir.
+  bool has_link(CoreId tile, unsigned dir) const;
+  /// Cumulative bytes serialized onto the (tile, dir) link.
+  std::uint64_t link_bytes(CoreId tile, unsigned dir) const {
+    return link_bytes_.at(tile).at(dir);
+  }
+  const NetworkConfig& config() const noexcept { return cfg_; }
+
  private:
   struct Link {
     Cycle next_free = 0;
   };
-  /// Directional link from tile t toward direction d (0=E,1=W,2=N,3=S).
-  Link& link_between(CoreId from, CoreId to);
+  /// Direction index (0=E,1=W,2=N,3=S) of the link from @p from to the
+  /// adjacent tile @p to.
+  unsigned dir_between(CoreId from, CoreId to) const;
 
   const Mesh& mesh_;
   sim::EventQueue& eq_;
   NetworkConfig cfg_;
   std::vector<std::array<Link, 4>> links_;
+  std::vector<std::array<std::uint64_t, kLinkDirs>> link_bytes_;
   std::vector<std::uint64_t> per_router_bytes_;
   std::uint64_t router_bytes_ = 0;
   std::uint64_t hops_total_ = 0;

@@ -1,17 +1,19 @@
 #include "runtime/runtime_system.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/require.hpp"
+#include "obs/recorder.hpp"
 
 namespace tdn::runtime {
 
 RuntimeSystem::RuntimeSystem(sim::EventQueue& eq,
                              std::vector<core::SimCore*> cores,
                              Scheduler& sched, RuntimeHooks& hooks,
-                             RuntimeConfig cfg)
+                             RuntimeConfig cfg, obs::Recorder* rec)
     : eq_(eq), cores_(std::move(cores)), sched_(sched), hooks_(hooks),
-      cfg_(cfg), jitter_(cfg.jitter_seed) {
+      cfg_(cfg), rec_(rec), jitter_(cfg.jitter_seed) {
   TDN_REQUIRE(!cores_.empty(), "runtime needs at least one core");
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     TDN_REQUIRE(cores_[i] != nullptr && cores_[i]->id() == i,
@@ -89,6 +91,11 @@ void RuntimeSystem::open_phase(std::size_t p) {
   TDN_ASSERT(p < phases_.size());
   open_phase_ = p;
   const Phase& ph = phases_[p];
+  if (rec_ != nullptr && rec_->trace_on()) {
+    rec_->instant(obs::Recorder::kRuntimeTrack, "runtime",
+                  "phase " + std::to_string(p),
+                  "\"tasks\":" + std::to_string(ph.count));
+  }
   // The creating thread resumes past the barrier: the phase's tasks become
   // visible to the runtime (and to TD-NUCA's UseDesc counters) only now.
   for (std::size_t i = ph.first_task; i < ph.first_task + ph.count; ++i)
@@ -97,6 +104,7 @@ void RuntimeSystem::open_phase(std::size_t p) {
     Task& t = tasks_[i];
     if (t.unmet_predecessors == 0) {
       t.state = TaskState::Ready;
+      t.ready_at = eq_.now();
       sched_.enqueue(t);
     }
   }
@@ -147,6 +155,14 @@ void RuntimeSystem::complete_task(Task& t) {
   cores_[t.ran_on]->release();
   t.state = TaskState::Done;
   t.finished_at = eq_.now();
+  if (rec_ != nullptr && rec_->trace_on()) {
+    std::ostringstream args;
+    args << "\"id\":" << t.id << ",\"phase\":" << t.phase
+         << ",\"deps\":" << t.deps.size()
+         << ",\"wait\":" << (t.started_at - t.ready_at);
+    rec_->span(t.ran_on, "task", t.label, t.started_at,
+               t.finished_at - t.started_at, args.str());
+  }
   makespan_ = std::max(makespan_, t.finished_at);
   ++completed_;
   for (TaskId s : t.successors) {
@@ -154,6 +170,7 @@ void RuntimeSystem::complete_task(Task& t) {
     TDN_ASSERT(succ.unmet_predecessors > 0);
     if (--succ.unmet_predecessors == 0 && succ.phase <= open_phase_) {
       succ.state = TaskState::Ready;
+      succ.ready_at = eq_.now();
       sched_.enqueue(succ);
     }
   }

@@ -28,6 +28,10 @@
 #include "sim/event_queue.hpp"
 #include "stats/counters.hpp"
 
+namespace tdn::obs {
+class Recorder;
+}
+
 namespace tdn::runtime {
 
 struct RuntimeConfig {
@@ -48,8 +52,11 @@ struct RuntimeConfig {
 
 class RuntimeSystem {
  public:
+  /// @p rec (optional) receives one trace span per executed task plus
+  /// phase-transition instants; it observes only and never alters timing.
   RuntimeSystem(sim::EventQueue& eq, std::vector<core::SimCore*> cores,
-                Scheduler& sched, RuntimeHooks& hooks, RuntimeConfig cfg = {});
+                Scheduler& sched, RuntimeHooks& hooks, RuntimeConfig cfg = {},
+                obs::Recorder* rec = nullptr);
 
   // --- program construction (the "create all tasks" phase) -------------
   /// Register a dependency region; returns its id. Regions are matched by
@@ -103,6 +110,7 @@ class RuntimeSystem {
   Scheduler& sched_;
   RuntimeHooks& hooks_;
   RuntimeConfig cfg_;
+  obs::Recorder* rec_;
 
   std::vector<Dependency> deps_;
   std::map<std::pair<Addr, Addr>, DepId> dep_by_range_;

@@ -21,6 +21,8 @@ class Scheduler {
   /// Pick a task for @p core; nullptr if none available.
   virtual Task* dequeue(CoreId core) = 0;
   virtual bool empty() const = 0;
+  /// Ready tasks currently queued (obs epoch sampler series).
+  virtual std::size_t size() const = 0;
 };
 
 /// First-come-first-served central ready queue (Nanos++ default behaviour
@@ -36,6 +38,7 @@ class FifoScheduler final : public Scheduler {
     return t;
   }
   bool empty() const override { return queue_.empty(); }
+  std::size_t size() const override { return queue_.size(); }
 
  private:
   std::deque<Task*> queue_;
@@ -53,6 +56,7 @@ class AffinityScheduler final : public Scheduler {
   void enqueue(Task& task) override { queue_.push_back(&task); }
   Task* dequeue(CoreId core) override;
   bool empty() const override { return queue_.empty(); }
+  std::size_t size() const override { return queue_.size(); }
 
  private:
   const std::vector<Task>* tasks_ = nullptr;

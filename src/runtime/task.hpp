@@ -25,6 +25,7 @@ struct Task {
   std::vector<TaskId> predecessors;
   unsigned unmet_predecessors = 0;
   CoreId ran_on = kInvalidCore;
+  Cycle ready_at = 0;  ///< when the last predecessor retired (obs tracing)
   Cycle started_at = 0;
   Cycle finished_at = 0;
 };

@@ -4,7 +4,13 @@ namespace tdn::sim {
 
 void EventQueue::schedule_at(Cycle when, Action fn) {
   TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  heap_.push(Event{when, next_seq_++, std::move(fn)});
+  heap_.push(Event{when, next_seq_++, std::move(fn), /*observer=*/false});
+}
+
+void EventQueue::schedule_observer_at(Cycle when, Action fn) {
+  TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  heap_.push(Event{when, next_seq_++, std::move(fn), /*observer=*/true});
+  ++observer_pending_;
 }
 
 Cycle EventQueue::run() { return run_until(kNeverCycle); }
@@ -14,6 +20,15 @@ Cycle EventQueue::run_until(Cycle limit) {
     // Move the action out before popping: the action may schedule new events.
     Event ev = std::move(const_cast<Event&>(heap_.top()));
     heap_.pop();
+    if (ev.observer) {
+      --observer_pending_;
+      // Observers past the limit are dropped, not an error: a cycle-limited
+      // run must not be failed by a pending sampler tick.
+      if (ev.when > limit) continue;
+      now_ = ev.when;
+      ev.fn();
+      continue;
+    }
     TDN_REQUIRE(ev.when <= limit, "simulation exceeded cycle limit (deadlock?)");
     now_ = ev.when;
     ++executed_;

@@ -25,6 +25,17 @@ class EventQueue {
   /// Schedule @p fn to run @p delay cycles from now.
   void schedule_in(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
 
+  /// Schedule an *observer* event: it runs like a normal event but is
+  /// invisible to the simulation's accounting — it is excluded from
+  /// executed(), from real_pending(), and from the run_until() cycle-limit
+  /// check (beyond-limit observers are silently dropped). Observer actions
+  /// must never mutate simulation state; the obs epoch sampler uses them so
+  /// that recording on/off yields bit-identical results.
+  void schedule_observer_at(Cycle when, Action fn);
+  void schedule_observer_in(Cycle delay, Action fn) {
+    schedule_observer_at(now_ + delay, std::move(fn));
+  }
+
   /// Run events until the queue drains. Returns the final cycle.
   Cycle run();
   /// Run events with a hard cycle limit (deadlock guard in tests).
@@ -34,6 +45,10 @@ class EventQueue {
   Cycle now() const noexcept { return now_; }
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
+  /// Pending events excluding observers — "is the simulation still live?".
+  std::size_t real_pending() const noexcept {
+    return heap_.size() - observer_pending_;
+  }
   std::uint64_t executed() const noexcept { return executed_; }
 
  private:
@@ -41,6 +56,7 @@ class EventQueue {
     Cycle when;
     std::uint64_t seq;
     Action fn;
+    bool observer = false;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -53,6 +69,7 @@ class EventQueue {
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t observer_pending_ = 0;
 };
 
 }  // namespace tdn::sim

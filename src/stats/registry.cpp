@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/jsonfmt.hpp"
+
 namespace tdn::stats {
 
 void Registry::set(const std::string& key, double value) { values_[key] = value; }
@@ -28,6 +30,19 @@ std::string Registry::to_csv() const {
   std::ostringstream os;
   os << "key,value\n";
   for (const auto& [k, v] : values_) os << k << "," << v << "\n";
+  return os.str();
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(k)
+       << "\": " << json_number(v);
+    first = false;
+  }
+  os << (first ? "}" : "\n}");
   return os.str();
 }
 

@@ -1,9 +1,11 @@
 #include "system/tiled_system.hpp"
 
 #include <sstream>
+#include <string>
 
 #include "common/prng.hpp"
 #include "common/require.hpp"
+#include "obs/recorder.hpp"
 
 namespace tdn::system {
 
@@ -48,8 +50,9 @@ std::uint64_t SystemConfig::fingerprint() const {
   return fnv1a64(s.data(), s.size());
 }
 
-TiledSystem::TiledSystem(SystemConfig cfg)
-    : cfg_(cfg), mesh_(cfg.mesh_w, cfg.mesh_h), page_table_(cfg.page_table) {
+TiledSystem::TiledSystem(SystemConfig cfg, obs::Recorder* rec)
+    : cfg_(cfg), rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h),
+      page_table_(cfg.page_table) {
   const unsigned n = cfg_.num_cores();
   TDN_REQUIRE(n > 0, "system needs at least one tile");
 
@@ -102,7 +105,7 @@ TiledSystem::TiledSystem(SystemConfig cfg)
   }
 
   caches_ = std::make_unique<coherence::CoherentSystem>(
-      eq_, *net_, mesh_, *mcs_, *active_policy_, cfg_.hierarchy, n);
+      eq_, *net_, mesh_, *mcs_, *active_policy_, cfg_.hierarchy, n, rec_);
   if (tdnuca_policy_ && active_policy_ != tdnuca_policy_.get()) {
     // Dry-run: the TD policy object still needs CacheOps for completeness.
     tdnuca_policy_->set_ops(caches_.get());
@@ -137,23 +140,139 @@ TiledSystem::TiledSystem(SystemConfig cfg)
     hooks_cfg.dry_run = (cfg_.policy == PolicyKind::TdNucaDryRun);
     hooks_cfg.line_size = cfg_.hierarchy.l1.line_size;
     hooks_td_ = std::make_unique<tdnuca::TdNucaRuntimeHooks>(
-        *tdnuca_policy_, page_table_, n, hooks_cfg);
+        *tdnuca_policy_, page_table_, n, hooks_cfg, rec_);
     hooks = hooks_td_.get();
   } else {
     hooks_base_ = std::make_unique<runtime::RuntimeHooks>();
     hooks = hooks_base_.get();
   }
   runtime_ = std::make_unique<runtime::RuntimeSystem>(
-      eq_, core_ptrs, *scheduler_, *hooks, cfg_.runtime);
+      eq_, core_ptrs, *scheduler_, *hooks, cfg_.runtime, rec_);
   if (hooks_td_) hooks_td_->set_runtime(runtime_.get());
   if (auto* aff = dynamic_cast<runtime::AffinityScheduler*>(scheduler_.get()))
     aff->set_tasks(&runtime_->tasks());
+
+  if (rec_ != nullptr) register_observability();
+}
+
+void TiledSystem::register_observability() {
+  const unsigned n = cfg_.num_cores();
+  rec_->attach_clock(&eq_);
+
+  // --- trace tracks -----------------------------------------------------
+  for (unsigned i = 0; i < n; ++i)
+    rec_->set_track_name(i, "core " + std::to_string(i));
+  rec_->set_track_name(obs::Recorder::kRuntimeTrack, "runtime");
+  rec_->set_track_name(obs::Recorder::kFlushTrack, "flush engine");
+  rec_->set_track_name(obs::Recorder::kCoherenceTrack, "coherence");
+
+  // --- epoch time series -------------------------------------------------
+  // Interval probes snapshot cumulative counters and report per-epoch
+  // deltas via mutable captures; gauges read current state directly.
+  for (unsigned b = 0; b < n; ++b) {
+    rec_->add_series(
+        "llc.bank" + std::to_string(b) + ".hit_ratio",
+        [this, b, ph = std::uint64_t{0}, pm = std::uint64_t{0}]() mutable {
+          const auto& c = caches_->bank_counters(b);
+          const std::uint64_t dh = c.hits - ph;
+          const std::uint64_t dm = c.misses - pm;
+          ph = c.hits;
+          pm = c.misses;
+          return (dh + dm) > 0
+                     ? static_cast<double>(dh) / static_cast<double>(dh + dm)
+                     : 0.0;
+        });
+    rec_->add_series(
+        "llc.bank" + std::to_string(b) + ".occupancy", [this, b] {
+          return static_cast<double>(caches_->bank_occupied_lines(b)) /
+                 static_cast<double>(caches_->bank_capacity_lines());
+        });
+  }
+  const double link_cap = static_cast<double>(
+      cfg_.network.link_bytes_per_cycle);
+  for (unsigned t = 0; t < n; ++t) {
+    for (unsigned d = 0; d < noc::Network::kLinkDirs; ++d) {
+      if (!net_->has_link(t, d)) continue;
+      rec_->add_series(
+          "noc.t" + std::to_string(t) + "." + noc::Network::dir_name(d) +
+              ".util",
+          [this, t, d, link_cap, prev = std::uint64_t{0}]() mutable {
+            const std::uint64_t cur = net_->link_bytes(t, d);
+            const double delta = static_cast<double>(cur - prev);
+            prev = cur;
+            const double cap =
+                link_cap * static_cast<double>(rec_->config().epoch_cycles);
+            return cap > 0 ? delta / cap : 0.0;
+          });
+    }
+  }
+  if (tdnuca_policy_) {
+    for (unsigned c = 0; c < n; ++c) {
+      rec_->add_series("rrt.core" + std::to_string(c) + ".entries",
+                       [this, c] {
+                         return static_cast<double>(
+                             tdnuca_policy_->rrt(c).size());
+                       });
+    }
+  }
+  rec_->add_series("runtime.ready_tasks",
+                   [this] { return static_cast<double>(scheduler_->size()); });
+  rec_->add_series("tasks.completed", [this] {
+    return static_cast<double>(runtime_->tasks_completed());
+  });
+  for (unsigned m = 0; m < cfg_.num_memory_controllers; ++m) {
+    rec_->add_series("dram.mc" + std::to_string(m) + ".backlog", [this, m] {
+      const auto& mc = mcs_->mc(m);
+      const Cycle now = eq_.now();
+      if (mc.busy_until() <= now) return 0.0;
+      // Backlog horizon expressed in queued requests.
+      return static_cast<double>(mc.busy_until() - now) /
+             static_cast<double>(mc.config().service_interval);
+    });
+  }
+
+  // --- heatmaps -----------------------------------------------------------
+  const unsigned w = cfg_.mesh_w;
+  const unsigned h = cfg_.mesh_h;
+  rec_->add_heatmap("llc_bank_accesses", w, h, [this, n] {
+    std::vector<double> v(n);
+    for (unsigned b = 0; b < n; ++b) {
+      const auto& c = caches_->bank_counters(b);
+      v[b] = static_cast<double>(c.requests + c.writebacks);
+    }
+    return v;
+  });
+  rec_->add_heatmap("llc_bank_hits", w, h, [this, n] {
+    std::vector<double> v(n);
+    for (unsigned b = 0; b < n; ++b)
+      v[b] = static_cast<double>(caches_->bank_counters(b).hits);
+    return v;
+  });
+  rec_->add_heatmap("noc_router_bytes", w, h, [this, n] {
+    std::vector<double> v(n);
+    for (unsigned t = 0; t < n; ++t)
+      v[t] = static_cast<double>(net_->router_bytes_at(t));
+    return v;
+  });
+  for (unsigned d = 0; d < noc::Network::kLinkDirs; ++d) {
+    rec_->add_heatmap(
+        std::string("noc_link_bytes_") + noc::Network::dir_name(d), w, h,
+        [this, n, d] {
+          std::vector<double> v(n);
+          for (unsigned t = 0; t < n; ++t)
+            v[t] = net_->has_link(t, d)
+                       ? static_cast<double>(net_->link_bytes(t, d))
+                       : 0.0;
+          return v;
+        });
+  }
 }
 
 TiledSystem::~TiledSystem() = default;
 
 Cycle TiledSystem::run(Cycle cycle_limit) {
   completed_ = false;
+  if (rec_ != nullptr) rec_->arm(eq_);
   runtime_->run([this] { completed_ = true; });
   eq_.run_until(cycle_limit);
   TDN_REQUIRE(completed_, "simulation drained without completing all tasks");
@@ -184,6 +303,14 @@ stats::Registry TiledSystem::collect_stats() const {
   r.set("llc.accesses", static_cast<double>(caches_->llc_accesses()));
   r.set("llc.hit_ratio", caches_->llc_hit_ratio());
   r.set("llc.bypass_reads", static_cast<double>(cs.bypass_reads.value()));
+  for (unsigned b = 0; b < cfg_.num_cores(); ++b) {
+    const auto& bc = caches_->bank_counters(b);
+    const std::string p = "llc.bank" + std::to_string(b);
+    r.set(p + ".requests", static_cast<double>(bc.requests));
+    r.set(p + ".hits", static_cast<double>(bc.hits));
+    r.set(p + ".misses", static_cast<double>(bc.misses));
+    r.set(p + ".writebacks", static_cast<double>(bc.writebacks));
+  }
   r.set("nuca.mean_distance", cs.nuca_distance.mean());
   r.set("l1.mean_miss_latency", cs.miss_latency.mean());
   r.set("noc.router_bytes", static_cast<double>(net_->total_router_bytes()));

@@ -26,11 +26,20 @@
 #include "system/config.hpp"
 #include "tdnuca/runtime_hooks.hpp"
 
+namespace tdn::obs {
+class Recorder;
+}
+
 namespace tdn::system {
 
 class TiledSystem {
  public:
-  explicit TiledSystem(SystemConfig cfg);
+  /// @p rec (optional) is wired through every layer at construction: the
+  /// runtime, TD-NUCA hooks and cache hierarchy emit trace events into it,
+  /// and the system registers its epoch time-series probes and heatmap
+  /// providers. run() arms the epoch sampler. The recorder observes only —
+  /// results are bit-identical with and without one attached.
+  explicit TiledSystem(SystemConfig cfg, obs::Recorder* rec = nullptr);
   ~TiledSystem();
   TiledSystem(const TiledSystem&) = delete;
   TiledSystem& operator=(const TiledSystem&) = delete;
@@ -68,7 +77,10 @@ class TiledSystem {
   stats::Registry collect_stats() const;
 
  private:
+  void register_observability();
+
   SystemConfig cfg_;
+  obs::Recorder* rec_ = nullptr;
   sim::EventQueue eq_;
   noc::Mesh mesh_;
   mem::VirtualSpace vspace_;

@@ -1,15 +1,18 @@
 #include "tdnuca/runtime_hooks.hpp"
 
+#include <sstream>
+
 #include "common/require.hpp"
 #include "core/sim_core.hpp"
+#include "obs/recorder.hpp"
 #include "sim/joiner.hpp"
 
 namespace tdn::tdnuca {
 
 TdNucaRuntimeHooks::TdNucaRuntimeHooks(nuca::TdNucaPolicy& policy,
                                        mem::PageTable& pt, unsigned num_tiles,
-                                       HooksConfig cfg)
-    : policy_(policy), pt_(pt), num_tiles_(num_tiles), cfg_(cfg) {}
+                                       HooksConfig cfg, obs::Recorder* rec)
+    : policy_(policy), pt_(pt), num_tiles_(num_tiles), cfg_(cfg), rec_(rec) {}
 
 void TdNucaRuntimeHooks::on_task_created(const runtime::Task& task) {
   TDN_REQUIRE(rts_ != nullptr, "set_runtime() must be called first");
@@ -85,7 +88,30 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
   TDN_REQUIRE(cfg_.dry_run || ops != nullptr,
               "policy must be wired to a cache system");
 
-  Cycle cycles = cfg_.decision_overhead * task.deps.size();
+  Cycle cycles = 0;
+  // ISA spans are laid back-to-back from now() over exactly the cycles the
+  // core will be charged below (core.busy runs them sequentially), so using
+  // the running accumulator as the span offset reproduces the timeline
+  // without touching the cost arithmetic.
+  const bool tr_on = rec_ != nullptr && rec_->trace_on();
+  const Cycle span_base = tr_on ? rec_->now() : 0;
+  auto charge = [&](const char* name, Cycle cost, std::string args = {}) {
+    if (tr_on && cost > 0)
+      rec_->span(cid, "isa", name, span_base + cycles, cost, std::move(args));
+    cycles += cost;
+  };
+  auto dep_args = [&](DepId dep, const Translated& tr,
+                      const char* placement = nullptr) {
+    if (!tr_on) return std::string();
+    std::ostringstream os;
+    os << "\"dep\":" << dep << ",\"tlb_cycles\":" << tr.tlb_cycles
+       << ",\"pieces\":" << tr.pieces.size();
+    if (placement != nullptr) os << ",\"placement\":\"" << placement << "\"";
+    return os.str();
+  };
+  charge("decision", cfg_.decision_overhead * task.deps.size(),
+         tr_on ? "\"deps\":" + std::to_string(task.deps.size())
+               : std::string());
   auto join = sim::make_joiner(std::move(done));
   std::vector<PlacedDep> placed;
   placed.reserve(task.deps.size());
@@ -121,9 +147,12 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
     auto invalidate_replicas = [&](DirEntry& re) {
       n_transitions_.inc();
       Translated tr = translate_dep(re.vrange, core);
-      cycles += isa_invalidate_cost(cfg_.isa, tr.tlb_cycles,
-                                    static_cast<unsigned>(tr.pieces.size())) +
-                isa_flush_issue_cost(cfg_.isa, 0);
+      charge("tdnuca_invalidate",
+             isa_invalidate_cost(cfg_.isa, tr.tlb_cycles,
+                                 static_cast<unsigned>(tr.pieces.size())),
+             dep_args(a.dep, tr));
+      charge("tdnuca_flush", isa_flush_issue_cost(cfg_.isa, 0),
+             dep_args(a.dep, tr));
       const CoreMask all_cores = CoreMask::first_n(num_tiles_);
       for (const AddrRange& piece : tr.pieces) {
         for (unsigned c = 0; c < num_tiles_; ++c)
@@ -163,9 +192,11 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
           // observed range on reuse-heavy workloads.
           if (e.placement == Placement::Replicated && !e.rrt_cores.empty()) {
             Translated tr_old = translate_dep(d.vrange, core);
-            cycles += isa_invalidate_cost(
-                cfg_.isa, tr_old.tlb_cycles,
-                static_cast<unsigned>(tr_old.pieces.size()));
+            charge("tdnuca_invalidate",
+                   isa_invalidate_cost(
+                       cfg_.isa, tr_old.tlb_cycles,
+                       static_cast<unsigned>(tr_old.pieces.size())),
+                   dep_args(a.dep, tr_old));
             e.rrt_cores.for_each([&](CoreId c) {
               for (const AddrRange& piece : tr_old.pieces)
                 policy_.rrt(c).invalidate_range(piece);
@@ -173,8 +204,10 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
             e.rrt_cores = CoreMask::none();
           }
           Translated tr = translate_dep(d.vrange, core);
-          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
-                                      static_cast<unsigned>(tr.pieces.size()));
+          charge("tdnuca_register",
+                 isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                   static_cast<unsigned>(tr.pieces.size())),
+                 dep_args(a.dep, tr, "bypass"));
           for (const AddrRange& piece : tr.pieces)
             policy_.rrt(cid).register_range(piece, BankMask::none());
           pd.pieces = std::move(tr.pieces);
@@ -190,8 +223,10 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
         pd.mask = BankMask::single(cid);
         if (!cfg_.dry_run) {
           Translated tr = translate_dep(d.vrange, core);
-          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
-                                      static_cast<unsigned>(tr.pieces.size()));
+          charge("tdnuca_register",
+                 isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                   static_cast<unsigned>(tr.pieces.size())),
+                 dep_args(a.dep, tr, "local"));
           for (const AddrRange& piece : tr.pieces)
             policy_.rrt(cid).register_range(piece, pd.mask);
           pd.pieces = std::move(tr.pieces);
@@ -211,8 +246,10 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
           // cluster mapping in this core's RRT. Later readers on the same
           // core reuse the entry (it stays resident until invalidated).
           Translated tr = translate_dep(d.vrange, core);
-          cycles += isa_register_cost(cfg_.isa, tr.tlb_cycles,
-                                      static_cast<unsigned>(tr.pieces.size()));
+          charge("tdnuca_register",
+                 isa_register_cost(cfg_.isa, tr.tlb_cycles,
+                                   static_cast<unsigned>(tr.pieces.size())),
+                 dep_args(a.dep, tr, "replicated"));
           for (const AddrRange& piece : tr.pieces)
             policy_.rrt(cid).register_range(piece, pd.mask);
           e.rrt_cores.set(cid);
@@ -242,6 +279,20 @@ void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
   TDN_ASSERT(it != active_.end());
 
   Cycle cycles = 0;
+  const bool tr_on = rec_ != nullptr && rec_->trace_on();
+  const Cycle span_base = tr_on ? rec_->now() : 0;
+  auto charge = [&](const char* name, Cycle cost, std::string args = {}) {
+    if (tr_on && cost > 0)
+      rec_->span(cid, "isa", name, span_base + cycles, cost, std::move(args));
+    cycles += cost;
+  };
+  auto pd_args = [&](const PlacedDep& pd) {
+    if (!tr_on) return std::string();
+    std::ostringstream os;
+    os << "\"dep\":" << pd.dep << ",\"pages\":" << pd.pages
+       << ",\"pieces\":" << pd.pieces.size();
+    return os.str();
+  };
   auto join = sim::make_joiner(std::move(done));
   for (PlacedDep& pd : it->second) {
     DirEntry& e = dir_.entry(pd.dep, rts_->dep(pd.dep).vrange);
@@ -254,9 +305,12 @@ void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
         // Flush the dependency from this core's L1 and clear the RRT entry
         // (Fig. 7, "LLC Bypass" end-of-task actions).
         if (!cfg_.dry_run) {
-          cycles += isa_flush_issue_cost(cfg_.isa, pd.pages) +
-                    isa_invalidate_cost(cfg_.isa, pd.pages,
-                                        static_cast<unsigned>(pd.pieces.size()));
+          charge("tdnuca_flush", isa_flush_issue_cost(cfg_.isa, pd.pages),
+                 pd_args(pd));
+          charge("tdnuca_invalidate",
+                 isa_invalidate_cost(cfg_.isa, pd.pages,
+                                     static_cast<unsigned>(pd.pieces.size())),
+                 pd_args(pd));
           for (const AddrRange& piece : pd.pieces) {
             policy_.rrt(cid).invalidate_range(piece);
             flush_started(pd.dep);
@@ -272,9 +326,12 @@ void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
         // Flush from the mapped LLC bank and this core's private cache,
         // then clear the RRT entry.
         if (!cfg_.dry_run) {
-          cycles += isa_flush_issue_cost(cfg_.isa, pd.pages) +
-                    isa_invalidate_cost(cfg_.isa, pd.pages,
-                                        static_cast<unsigned>(pd.pieces.size()));
+          charge("tdnuca_flush", isa_flush_issue_cost(cfg_.isa, pd.pages),
+                 pd_args(pd));
+          charge("tdnuca_invalidate",
+                 isa_invalidate_cost(cfg_.isa, pd.pages,
+                                     static_cast<unsigned>(pd.pieces.size())),
+                 pd_args(pd));
           for (const AddrRange& piece : pd.pieces) {
             policy_.rrt(cid).invalidate_range(piece);
             flush_started(pd.dep);
@@ -300,9 +357,11 @@ void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
         // placement and triggers the full invalidation).
         if (!cfg_.dry_run && e.use_desc == 0 &&
             e.placement == Placement::Replicated && !e.rrt_cores.empty()) {
-          cycles += isa_invalidate_cost(
-              cfg_.isa, pd.pages,
-              static_cast<unsigned>(pd.pieces.size()));
+          charge("tdnuca_invalidate",
+                 isa_invalidate_cost(
+                     cfg_.isa, pd.pages,
+                     static_cast<unsigned>(pd.pieces.size())),
+                 pd_args(pd));
           Translated tr = translate_dep(rts_->dep(pd.dep).vrange, core);
           e.rrt_cores.for_each([&](CoreId c) {
             for (const AddrRange& piece : tr.pieces)

@@ -33,6 +33,10 @@
 #include "tdnuca/isa.hpp"
 #include "tdnuca/rt_cache_directory.hpp"
 
+namespace tdn::obs {
+class Recorder;
+}
+
 namespace tdn::tdnuca {
 
 struct HooksConfig {
@@ -47,8 +51,12 @@ struct HooksConfig {
 
 class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
  public:
+  /// @p rec (optional) receives one trace span per TD-NUCA ISA instruction
+  /// (decision, tdnuca_register/invalidate/flush) laid back-to-back over the
+  /// cycles the core is charged; it observes only and never alters timing.
   TdNucaRuntimeHooks(nuca::TdNucaPolicy& policy, mem::PageTable& pt,
-                     unsigned num_tiles, HooksConfig cfg = {});
+                     unsigned num_tiles, HooksConfig cfg = {},
+                     obs::Recorder* rec = nullptr);
 
   /// Wire the runtime (needed to resolve DepIds); must be called before the
   /// first task is created.
@@ -114,6 +122,7 @@ class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
   mem::PageTable& pt_;
   unsigned num_tiles_;
   HooksConfig cfg_;
+  obs::Recorder* rec_;
   runtime::RuntimeSystem* rts_ = nullptr;
   RtCacheDirectory dir_;
   std::unordered_map<TaskId, std::vector<PlacedDep>> active_;

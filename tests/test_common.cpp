@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/prng.hpp"
+#include "common/log.hpp"
 #include "common/require.hpp"
 #include "common/tile_mask.hpp"
 #include "common/types.hpp"
@@ -130,4 +131,49 @@ TEST(Fnv1a, StableAndSensitive) {
   const char b[] = "hellp";
   EXPECT_EQ(fnv1a64(a, 5), fnv1a64(a, 5));
   EXPECT_NE(fnv1a64(a, 5), fnv1a64(b, 5));
+}
+
+TEST(Log, ConfigureBareLevelAppliesEverywhere) {
+  log::configure("error");
+  EXPECT_EQ(log::level(), log::Level::Error);
+  EXPECT_EQ(log::level(log::Sub::Noc), log::Level::Error);
+  EXPECT_EQ(log::level(log::Sub::Cache), log::Level::Error);
+  log::configure("warn");  // restore default
+}
+
+TEST(Log, ConfigurePerSubsystemOverrides) {
+  EXPECT_TRUE(log::configure("info,noc=debug,cache=trace"));
+  EXPECT_EQ(log::level(log::Sub::General), log::Level::Info);
+  EXPECT_EQ(log::level(log::Sub::Noc), log::Level::Debug);
+  EXPECT_EQ(log::level(log::Sub::Cache), log::Level::Trace);
+  EXPECT_EQ(log::level(log::Sub::Runtime), log::Level::Info);
+  log::configure("warn");
+}
+
+TEST(Log, ConfigureRejectsBadTokensButAppliesGoodOnes) {
+  log::configure("warn");
+  EXPECT_FALSE(log::configure("bogus"));
+  EXPECT_FALSE(log::configure("noc=nope"));
+  EXPECT_FALSE(log::configure("nosuchsub=debug"));
+  // Valid entries in a partially bad spec still apply.
+  EXPECT_FALSE(log::configure("mem=debug,junk"));
+  EXPECT_EQ(log::level(log::Sub::Mem), log::Level::Debug);
+  log::configure("warn");
+}
+
+TEST(Log, SetLevelSingleSubsystem) {
+  log::configure("warn");
+  log::set_level(log::Sub::Obs, log::Level::Trace);
+  EXPECT_EQ(log::level(log::Sub::Obs), log::Level::Trace);
+  EXPECT_EQ(log::level(log::Sub::Sim), log::Level::Warn);
+  log::configure("warn");
+}
+
+TEST(Log, SubNamesRoundTripThroughConfigure) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(log::Sub::kCount); ++i) {
+    const auto sub = static_cast<log::Sub>(i);
+    EXPECT_TRUE(log::configure(std::string(log::sub_name(sub)) + "=debug"));
+    EXPECT_EQ(log::level(sub), log::Level::Debug);
+  }
+  log::configure("warn");
 }

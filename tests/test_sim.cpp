@@ -63,6 +63,47 @@ TEST(EventQueue, ZeroDelaySameCycle) {
   EXPECT_EQ(eq.now(), 7u);
 }
 
+TEST(EventQueue, ObserverEventsExcludedFromAccounting) {
+  EventQueue eq;
+  int real = 0;
+  int observed = 0;
+  eq.schedule_at(10, [&] { ++real; });
+  eq.schedule_observer_at(5, [&] { ++observed; });
+  eq.schedule_observer_in(20, [&] { ++observed; });
+  EXPECT_EQ(eq.pending(), 3u);
+  EXPECT_EQ(eq.real_pending(), 1u);
+  eq.run();
+  EXPECT_EQ(real, 1);
+  EXPECT_EQ(observed, 2);
+  // Observer callbacks run but never count as executed events.
+  EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, ObserverBeyondLimitIsDroppedNotFatal) {
+  EventQueue eq;
+  bool observed = false;
+  eq.schedule_at(10, [] {});
+  eq.schedule_observer_at(100, [&] { observed = true; });
+  // A real event past the limit throws; a pending observer tick must not.
+  eq.run_until(50);
+  EXPECT_FALSE(observed);
+  EXPECT_EQ(eq.executed(), 1u);
+  EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, ObserverInterleavesAtCorrectCycles) {
+  EventQueue eq;
+  std::vector<Cycle> at;
+  eq.schedule_at(10, [&] { at.push_back(eq.now()); });
+  eq.schedule_observer_at(15, [&] { at.push_back(eq.now()); });
+  eq.schedule_at(20, [&] { at.push_back(eq.now()); });
+  eq.run();
+  ASSERT_EQ(at.size(), 3u);
+  EXPECT_EQ(at[0], 10u);
+  EXPECT_EQ(at[1], 15u);
+  EXPECT_EQ(at[2], 20u);
+}
+
 TEST(Joiner, FiresWhenArmedAndDrained) {
   bool done = false;
   auto j = make_joiner([&] { done = true; });

@@ -79,6 +79,23 @@ TEST(Registry, SumPrefix) {
   EXPECT_DOUBLE_EQ(r.sum_prefix("zzz"), 0.0);
 }
 
+TEST(Registry, ToJson) {
+  Registry empty;
+  EXPECT_EQ(empty.to_json(), "{}");
+
+  Registry r;
+  r.set("sim.cycles", 12345);
+  r.set("llc.hit_ratio", 0.75);
+  r.set("weird\"key\n", 1);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"sim.cycles\": 12345"), std::string::npos);
+  EXPECT_NE(json.find("\"llc.hit_ratio\": 0.75"), std::string::npos);
+  // Control characters and quotes are escaped, not emitted raw.
+  EXPECT_NE(json.find("weird\\\"key\\n"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
 TEST(Registry, Csv) {
   Registry r;
   r.set("x", 1.5);
