@@ -6,16 +6,24 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   harness::print_figure_header(
       "Ablation", "page-table fragmentation under TD-NUCA (workload: lu)");
   stats::Table table({"fragmentation", "cycles", "rrt mean occ", "rrt max occ",
                       "runtime overhead cyc"});
-  for (const double frag : {0.0, 0.15, 0.5, 0.9}) {
+  const std::vector<double> frags = {0.0, 0.15, 0.5, 0.9};
+  std::vector<harness::RunConfig> cfgs;
+  for (const double frag : frags) {
     harness::RunConfig cfg;
     cfg.workload = "lu";
     cfg.policy = PolicyKind::TdNuca;
     cfg.sys.page_table.fragmentation = frag;
-    const auto r = harness::run_experiment(cfg);
+    cfgs.push_back(std::move(cfg));
+  }
+  const auto results = run_all(cfgs);
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    const double frag = frags[i];
+    const auto& r = results[i];
     table.add_row({stats::Table::num(frag, 2),
                    stats::Table::num(r.get("sim.cycles"), 0),
                    stats::Table::num(r.get("rrt.mean_occupancy"), 1),

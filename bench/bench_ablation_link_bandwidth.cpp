@@ -6,24 +6,30 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   harness::print_figure_header(
       "Ablation", "link bandwidth (workload: lu, speedup of TD-NUCA over "
                   "S-NUCA at the same bandwidth)");
   stats::Table table({"bytes/cycle", "S-NUCA cycles", "TD-NUCA cycles",
                       "speedup"});
-  for (const unsigned bpc : {8u, 16u, 32u, 64u}) {
-    double cycles[2];
-    int i = 0;
+  const std::vector<unsigned> bpcs = {8, 16, 32, 64};
+  std::vector<harness::RunConfig> cfgs;
+  for (const unsigned bpc : bpcs) {
     for (const auto pol : {PolicyKind::SNuca, PolicyKind::TdNuca}) {
       harness::RunConfig cfg;
       cfg.workload = "lu";
       cfg.policy = pol;
       cfg.sys.network.link_bytes_per_cycle = bpc;
-      cycles[i++] = harness::run_experiment(cfg).get("sim.cycles");
+      cfgs.push_back(std::move(cfg));
     }
-    table.add_row({std::to_string(bpc), stats::Table::num(cycles[0], 0),
-                   stats::Table::num(cycles[1], 0),
-                   stats::Table::num(cycles[0] / cycles[1], 3)});
+  }
+  const auto results = run_all(cfgs);
+  for (std::size_t r = 0; r < bpcs.size(); ++r) {
+    const double snuca = results[2 * r].get("sim.cycles");
+    const double tdnuca = results[2 * r + 1].get("sim.cycles");
+    table.add_row({std::to_string(bpcs[r]), stats::Table::num(snuca, 0),
+                   stats::Table::num(tdnuca, 0),
+                   stats::Table::num(snuca / tdnuca, 3)});
   }
   std::printf("%s", table.to_string().c_str());
   bench::obs_section(argc, argv);

@@ -6,26 +6,33 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   harness::print_figure_header(
       "Ablation", "LLC bank capacity (workload: redblack, speedup vs S-NUCA "
                   "at the same capacity)");
   stats::Table table(
       {"bank KiB", "total MiB", "S-NUCA cycles", "TD-NUCA cycles", "speedup"});
-  for (const Addr bank_kib : {128ull, 256ull, 512ull, 1024ull}) {
-    double cycles[2];
-    int i = 0;
+  const std::vector<Addr> bank_kibs = {128, 256, 512, 1024};
+  std::vector<harness::RunConfig> cfgs;
+  for (const Addr bank_kib : bank_kibs) {
     for (const auto pol : {PolicyKind::SNuca, PolicyKind::TdNuca}) {
       harness::RunConfig cfg;
       cfg.workload = "redblack";
       cfg.policy = pol;
       cfg.sys.hierarchy.llc_bank.size_bytes = bank_kib * kKiB;
-      cycles[i++] = harness::run_experiment(cfg).get("sim.cycles");
+      cfgs.push_back(std::move(cfg));
     }
+  }
+  const auto results = run_all(cfgs);
+  for (std::size_t r = 0; r < bank_kibs.size(); ++r) {
+    const Addr bank_kib = bank_kibs[r];
+    const double snuca = results[2 * r].get("sim.cycles");
+    const double tdnuca = results[2 * r + 1].get("sim.cycles");
     table.add_row({std::to_string(bank_kib),
                    stats::Table::num(bank_kib * 16 / 1024.0, 1),
-                   stats::Table::num(cycles[0], 0),
-                   stats::Table::num(cycles[1], 0),
-                   stats::Table::num(cycles[0] / cycles[1], 3)});
+                   stats::Table::num(snuca, 0),
+                   stats::Table::num(tdnuca, 0),
+                   stats::Table::num(snuca / tdnuca, 3)});
   }
   std::printf("%s", table.to_string().c_str());
   bench::obs_section(argc, argv);

@@ -7,24 +7,34 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   harness::print_figure_header("Ablation", "scheduler policy (cycles)");
   stats::Table table({"bench", "policy", "fifo", "affinity", "affinity/fifo"});
-  for (const char* wl : {"kmeans", "lu"}) {
-    for (const auto pol :
-         {PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca}) {
-      double cycles[2];
+  const std::vector<std::string> wls = {"kmeans", "lu"};
+  const std::vector<PolicyKind> pols = {PolicyKind::SNuca, PolicyKind::RNuca,
+                                        PolicyKind::TdNuca};
+  std::vector<harness::RunConfig> cfgs;
+  for (const auto& wl : wls) {
+    for (const auto pol : pols) {
       for (int s = 0; s < 2; ++s) {
         harness::RunConfig cfg;
         cfg.workload = wl;
         cfg.policy = pol;
         cfg.sys.scheduler = s == 0 ? system::SchedulerKind::Fifo
                                    : system::SchedulerKind::Affinity;
-        cycles[s] = harness::run_experiment(cfg).get("sim.cycles");
+        cfgs.push_back(std::move(cfg));
       }
-      table.add_row({wl, system::to_string(pol),
-                     stats::Table::num(cycles[0], 0),
-                     stats::Table::num(cycles[1], 0),
-                     stats::Table::num(cycles[1] / cycles[0], 3)});
+    }
+  }
+  const auto results = run_all(cfgs);
+  std::size_t i = 0;
+  for (const auto& wl : wls) {
+    for (const auto pol : pols) {
+      const double fifo = results[i++].get("sim.cycles");
+      const double affinity = results[i++].get("sim.cycles");
+      table.add_row({wl, system::to_string(pol), stats::Table::num(fifo, 0),
+                     stats::Table::num(affinity, 0),
+                     stats::Table::num(affinity / fifo, 3)});
     }
   }
   std::printf("%s", table.to_string().c_str());

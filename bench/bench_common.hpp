@@ -1,5 +1,7 @@
 // Shared plumbing for the figure-regeneration binaries: one full-suite
-// simulation sweep, memoized on disk so the per-figure binaries share it.
+// simulation sweep, executed on a SweepRunner thread pool and memoized on
+// disk so the per-figure binaries share it. Operator's manual:
+// docs/harness.md.
 #pragma once
 
 #include <algorithm>
@@ -12,6 +14,7 @@
 #include "harness/figures.hpp"
 #include "harness/paper_ref.hpp"
 #include "harness/runner.hpp"
+#include "harness/sweep_runner.hpp"
 #include "stats/table.hpp"
 #include "workloads/workload.hpp"
 
@@ -21,15 +24,59 @@ using namespace tdn;
 using harness::RunResult;
 using system::PolicyKind;
 
-inline std::vector<RunResult> suite(std::vector<PolicyKind> policies) {
-  return harness::run_suite(policies, workloads::WorkloadParams{});
+/// --jobs/-j value shared by every bench binary. 0 = hardware_concurrency.
+inline unsigned& jobs_flag() {
+  static unsigned jobs = 0;
+  return jobs;
+}
+
+/// Parse the flags every bench binary shares. Call first in main(); flags
+/// not recognized here (the obs flags) are handled later by obs_section().
+///
+///   --jobs N | -j N    simulations run N at a time (default: all cores)
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" || a == "-j") {
+      if (i + 1 < argc) {
+        jobs_flag() = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      } else {
+        std::fprintf(stderr, "%s requires a value\n", a.c_str());
+      }
+    }
+  }
+}
+
+/// Run a sweep of configs --jobs at a time; results come back in input
+/// order and bit-identical to a serial run regardless of the pool size.
+inline std::vector<RunResult> run_all(
+    const std::vector<harness::RunConfig>& cfgs) {
+  harness::SweepOptions opts;
+  opts.jobs = jobs_flag();
+  opts.progress = true;
+  harness::SweepRunner runner(opts);
+  return runner.run(cfgs);
+}
+
+inline std::vector<RunResult> suite(const std::vector<PolicyKind>& policies) {
+  std::vector<harness::RunConfig> cfgs;
+  for (const auto& wl : workloads::paper_workload_names()) {
+    for (const PolicyKind p : policies) {
+      harness::RunConfig cfg;
+      cfg.workload = wl;
+      cfg.policy = p;
+      cfgs.push_back(std::move(cfg));
+    }
+  }
+  return run_all(cfgs);
 }
 
 inline std::vector<RunResult> suite_srt() {
   return suite({PolicyKind::SNuca, PolicyKind::RNuca, PolicyKind::TdNuca});
 }
 
-/// Every figure binary accepts the shared observability flags:
+/// Every figure binary accepts the shared observability flags (in addition
+/// to --jobs/-j, parsed by init()):
 ///
 ///   --trace PATH           Chrome trace_event JSON (open in Perfetto)
 ///   --trace-coherence      also record per-transaction coherence instants

@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite({PolicyKind::RNuca, PolicyKind::TdNuca});
 
   harness::print_figure_header(

@@ -3,6 +3,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite_srt();
   harness::print_figure_header("Fig. 10", "LLC hit ratio (absolute)");
   stats::Table table({"bench", "S-NUCA", "R-NUCA", "TD-NUCA"});

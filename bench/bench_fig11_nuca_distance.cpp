@@ -4,6 +4,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite_srt();
   harness::print_figure_header("Fig. 11", "average NUCA distance (hops)");
   stats::Table table({"bench", "S-NUCA", "R-NUCA", "TD-NUCA"});

@@ -4,6 +4,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite_srt();
   harness::NormalizedFigure fig;
   fig.metric = "noc.router_bytes";

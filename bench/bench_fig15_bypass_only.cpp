@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite({PolicyKind::SNuca, PolicyKind::TdNucaBypassOnly,
                               PolicyKind::TdNuca});
   harness::NormalizedFigure fig;

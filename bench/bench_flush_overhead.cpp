@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite({PolicyKind::TdNuca});
   harness::print_figure_header("Sec. V-E",
                                "flush-engine busy time as % of execution");

@@ -5,6 +5,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite({PolicyKind::TdNuca});
   harness::print_figure_header("Sec. V-E", "RRT occupancy (entries per core)");
   stats::Table table({"bench", "mean", "max", "lookups", "capacity"});

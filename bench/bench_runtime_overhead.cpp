@@ -7,6 +7,7 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const auto results = suite({PolicyKind::SNuca, PolicyKind::TdNucaDryRun});
   harness::print_figure_header(
       "Sec. V-E", "runtime-extension software overhead (dry-run vs S-NUCA)");

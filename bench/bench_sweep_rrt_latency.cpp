@@ -6,20 +6,28 @@
 
 int main(int argc, char** argv) {
   using namespace bench;
+  init(argc, argv);
   const std::vector<std::string> wls = {"lu", "knn", "jacobi"};
   harness::print_figure_header(
       "Sec. V-E", "RRT latency sweep (slowdown vs ideal 0-cycle RRT)");
   stats::Table table({"bench", "1 cyc", "2 cyc", "3 cyc", "4 cyc"});
   std::vector<double> overhead_sum(5, 0.0);
+  std::vector<harness::RunConfig> cfgs;
   for (const auto& wl : wls) {
-    std::vector<double> cycles;
     for (Cycle lat = 0; lat <= 4; ++lat) {
       harness::RunConfig cfg;
       cfg.workload = wl;
       cfg.policy = PolicyKind::TdNuca;
       cfg.sys.tdnuca.rrt_latency = lat;
-      cycles.push_back(harness::run_experiment(cfg).get("sim.cycles"));
+      cfgs.push_back(std::move(cfg));
     }
+  }
+  const auto results = run_all(cfgs);
+  for (std::size_t w = 0; w < wls.size(); ++w) {
+    const auto& wl = wls[w];
+    std::vector<double> cycles;
+    for (int lat = 0; lat <= 4; ++lat)
+      cycles.push_back(results[5 * w + lat].get("sim.cycles"));
     std::vector<std::string> row{wl};
     for (int lat = 1; lat <= 4; ++lat) {
       const double slowdown = cycles[lat] / cycles[0] - 1.0;

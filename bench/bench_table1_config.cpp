@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace tdn;
+  bench::init(argc, argv);
   system::SystemConfig cfg;
   stats::Table t({"parameter", "paper (gem5)", "this reproduction"});
   t.add_row({"cores", "16 OoO x86, 4-wide, 2 GHz",

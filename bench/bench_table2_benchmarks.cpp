@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace tdn;
+  bench::init(argc, argv);
   struct PaperRow {
     const char* bench;
     double input_mb;

@@ -1,26 +1,40 @@
 // policy_explorer — run any of the paper's workloads under every policy and
-// print the headline metrics side by side.
+// print the headline metrics side by side. The four runs execute
+// concurrently on a SweepRunner pool (docs/harness.md).
 //
-//   $ ./policy_explorer [workload] [scale]
-//   $ ./policy_explorer lu 0.5
+//   $ ./policy_explorer [workload] [scale] [--jobs N]
+//   $ ./policy_explorer lu 0.5 -j 2
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
-#include "harness/runner.hpp"
+#include "harness/sweep_runner.hpp"
 #include "stats/table.hpp"
 #include "workloads/workload.hpp"
 
 using namespace tdn;
 
 int main(int argc, char** argv) {
-  const std::string workload = argc > 1 ? argv[1] : "lu";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+  std::string workload = "lu";
+  double scale = 1.0;
+  unsigned jobs = 0;  // 0 = hardware_concurrency
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" || a == "-j") {
+      if (i + 1 < argc) jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (!positional.empty()) workload = positional[0];
+  if (positional.size() > 1) scale = std::atof(positional[1].c_str());
 
   std::printf("policy explorer: workload=%s scale=%.2f\n\n", workload.c_str(),
               scale);
-  stats::Table table({"policy", "cycles", "LLC accesses", "hit ratio",
-                      "NUCA dist", "NoC bytes", "DRAM accesses"});
+  std::vector<harness::RunConfig> cfgs;
   for (const auto policy :
        {system::PolicyKind::SNuca, system::PolicyKind::RNuca,
         system::PolicyKind::TdNuca, system::PolicyKind::TdNucaBypassOnly}) {
@@ -28,7 +42,17 @@ int main(int argc, char** argv) {
     cfg.workload = workload;
     cfg.policy = policy;
     cfg.params.scale = scale;
-    const auto r = harness::run_experiment(cfg);
+    cfgs.push_back(std::move(cfg));
+  }
+  harness::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.progress = true;
+  harness::SweepRunner runner(opts);
+  const auto results = runner.run(cfgs);
+
+  stats::Table table({"policy", "cycles", "LLC accesses", "hit ratio",
+                      "NUCA dist", "NoC bytes", "DRAM accesses"});
+  for (const auto& r : results) {
     table.add_row({r.policy, stats::Table::num(r.get("sim.cycles"), 0),
                    stats::Table::num(r.get("llc.accesses"), 0),
                    stats::Table::num(r.get("llc.hit_ratio"), 3),

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs.
+
+Verifies, for every markdown file given on the command line:
+  * relative file links (``[text](path)``, ``[text](path#anchor)``) resolve
+    to an existing file or directory, relative to the linking file;
+  * anchors — both same-file ``#section`` links and cross-file
+    ``path#anchor`` links into another checked markdown file — match a
+    heading (GitHub slug rules: lowercase, punctuation stripped, spaces to
+    dashes);
+  * reference-style definitions are resolved the same way.
+
+External links (http/https/mailto) are not fetched — CI must not depend on
+network reachability — but their URLs must at least parse.
+
+Exit status: 0 clean, 1 any broken link. Used by .github/workflows/ci.yml;
+run locally with:  python3 scripts/check_markdown_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_LINK = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """Approximate GitHub's heading-to-anchor slug."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set:
+    try:
+        text = md_path.read_text(encoding="utf-8")
+    except OSError:
+        return set()
+    text = CODE_FENCE.sub("", text)
+    slugs = set()
+    counts = {}
+    for m in HEADING.finditer(text):
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path: Path, repo_root: Path) -> list:
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    stripped = CODE_FENCE.sub("", text)
+    targets = []
+    for pattern in (INLINE_LINK, IMAGE_LINK):
+        targets.extend(m.group(1) for m in pattern.finditer(stripped))
+    targets.extend(m.group(1) for m in REF_DEF.finditer(stripped))
+
+    for target in targets:
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md_path}: broken link '{target}' "
+                              f"(no such file: {resolved.relative_to(repo_root)})")
+                continue
+        else:
+            resolved = md_path
+        if anchor and resolved.suffix.lower() in (".md", ".markdown"):
+            if anchor.lower() not in anchors_of(resolved):
+                errors.append(f"{md_path}: broken anchor '{target}' "
+                              f"(no heading slugs to '#{anchor}')")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = Path.cwd().resolve()
+    errors = []
+    checked = 0
+    for arg in argv[1:]:
+        p = Path(arg)
+        if not p.exists():
+            errors.append(f"{arg}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(p, repo_root))
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken links'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

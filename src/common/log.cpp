@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace tdn::log {
 
@@ -19,15 +20,32 @@ struct Levels {
   LevelArray a;
   Levels() {
     for (auto& l : a) l.store(Level::Warn, std::memory_order_relaxed);
-    // The env var applies at first logger use, so every tool linking the
-    // library honours TDN_LOG without an explicit init_from_env() call.
-    if (const char* v = std::getenv("TDN_LOG")) apply_spec(a, v);
   }
 };
 
+// First-use TDN_LOG parsing must be safe when the first use happens on a
+// SweepRunner pool thread: the magic static serializes construction
+// (C++11), and the env parse runs under its own once_flag so concurrent
+// first callers observe either no spec applied yet or the complete spec —
+// never a half-applied one. SweepRunner additionally calls init_from_env()
+// on the main thread before starting workers.
+std::once_flag g_env_once;
+
 LevelArray& levels() {
   static Levels g;
+  std::call_once(g_env_once, [] {
+    // Applied at first logger use, so every tool linking the library
+    // honours TDN_LOG without an explicit init_from_env() call.
+    if (const char* v = std::getenv("TDN_LOG")) apply_spec(g.a, v);
+  });
   return g.a;
+}
+
+// Serializes stderr writes from concurrent simulation workers so log lines
+// never interleave mid-line.
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
 }
 
 const char* level_name(Level lvl) {
@@ -143,6 +161,7 @@ void init_from_env() {
 }
 
 void write(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(write_mutex());
   std::fprintf(stderr, "[tdn %-5s] %s\n", level_name(lvl), msg.c_str());
 }
 
@@ -151,6 +170,7 @@ void write(Level lvl, Sub sub, const std::string& msg) {
     write(lvl, msg);
     return;
   }
+  std::lock_guard<std::mutex> lock(write_mutex());
   std::fprintf(stderr, "[tdn %-5s %s] %s\n", level_name(lvl), sub_name(sub),
                msg.c_str());
 }

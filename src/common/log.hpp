@@ -5,7 +5,11 @@
 // TDN_LOG accepts either a single level ("debug") or a comma-separated spec
 // with per-subsystem overrides: "info,noc=debug,cache=trace". The bare level
 // (if present) applies to every subsystem first; named entries then override
-// individual subsystems.
+// individual subsystems. Full spec: docs/harness.md.
+//
+// Thread-safe: level loads are relaxed atomics, first-use TDN_LOG parsing
+// is guarded by a once_flag, and write() serializes stderr so lines from
+// concurrent SweepRunner workers never interleave mid-line.
 #pragma once
 
 #include <sstream>

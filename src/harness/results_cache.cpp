@@ -1,5 +1,8 @@
 #include "harness/results_cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -27,12 +30,19 @@ std::optional<std::map<std::string, double>> ResultsCache::load(
   std::map<std::string, double> m;
   std::string line;
   while (std::getline(in, line)) {
+    // Tolerate malformed lines (corrupt entry from a pre-atomic-rename
+    // writer, stray edit, disk hiccup): skip them instead of trusting or
+    // propagating them; the metric simply recomputes on its next miss.
     const auto comma = line.rfind(',');
-    if (comma == std::string::npos) continue;
+    if (comma == std::string::npos || comma == 0) continue;
     try {
-      m[line.substr(0, comma)] = std::stod(line.substr(comma + 1));
+      std::size_t consumed = 0;
+      const std::string value = line.substr(comma + 1);
+      const double v = std::stod(value, &consumed);
+      if (consumed != value.size()) continue;  // trailing junk: torn write
+      m[line.substr(0, comma)] = v;
     } catch (...) {
-      return std::nullopt;  // corrupt entry: recompute
+      continue;
     }
   }
   if (m.empty()) return std::nullopt;
@@ -47,11 +57,31 @@ void ResultsCache::store(const std::string& key,
   if (ec) return;  // cache is best-effort
   const std::filesystem::path p =
       std::filesystem::path(directory()) / (key + ".csv");
-  std::ostringstream os;
-  os.precision(17);
-  for (const auto& [k, v] : metrics) os << k << "," << v << "\n";
-  std::ofstream out(p);
-  out << os.str();
+  // Write to a uniquely named temp file in the same directory, then
+  // atomically rename over the final path: a concurrent reader sees either
+  // the old complete file or the new complete file, never a torn one, and
+  // concurrent writers of the same key each publish a complete file (last
+  // rename wins — both wrote identical bytes, simulations being
+  // deterministic).
+  static std::atomic<unsigned> seq{0};
+  std::ostringstream tmp_name;
+  tmp_name << p.filename().string() << ".tmp." << ::getpid() << "."
+           << seq.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path tmp = p.parent_path() / tmp_name.str();
+  {
+    std::ofstream out(tmp);
+    if (!out) return;
+    out.precision(17);
+    for (const auto& [k, v] : metrics) out << k << "," << v << "\n";
+    out.flush();
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
 }
 
 }  // namespace tdn::harness

@@ -9,6 +9,7 @@
 #include "common/prng.hpp"
 #include "common/require.hpp"
 #include "harness/results_cache.hpp"
+#include "harness/sweep_runner.hpp"
 
 namespace tdn::harness {
 
@@ -135,6 +136,7 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
   if (use_cache) {
     if (auto cached = ResultsCache::load(key)) {
       result.metrics = std::move(*cached);
+      result.from_cache = true;
       return result;
     }
   }
@@ -181,18 +183,21 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
 
 std::vector<RunResult> run_suite(
     const std::vector<system::PolicyKind>& policies,
-    const workloads::WorkloadParams& params, bool use_cache) {
-  std::vector<RunResult> out;
+    const workloads::WorkloadParams& params, bool use_cache, unsigned jobs) {
+  std::vector<RunConfig> cfgs;
   for (const std::string& wl : workloads::paper_workload_names()) {
     for (const system::PolicyKind p : policies) {
       RunConfig cfg;
       cfg.workload = wl;
       cfg.policy = p;
       cfg.params = params;
-      out.push_back(run_experiment(cfg, use_cache));
+      cfgs.push_back(std::move(cfg));
     }
   }
-  return out;
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.use_cache = use_cache;
+  return SweepRunner(opts).run(cfgs);
 }
 
 const RunResult& find_result(const std::vector<RunResult>& results,

@@ -60,6 +60,12 @@ struct RunResult {
   std::string workload;
   std::string policy;
   std::map<std::string, double> metrics;
+  /// True when the result was served from the on-disk results cache.
+  bool from_cache = false;
+  /// Wall clock of this run (simulate or cache load), filled by SweepRunner.
+  /// Deliberately NOT part of `metrics`: metrics are bit-identical between
+  /// serial and parallel sweeps, wall clock is not.
+  double wall_ms = 0.0;
 
   double get(const std::string& key) const;
   bool has(const std::string& key) const { return metrics.count(key) != 0; }
@@ -72,10 +78,12 @@ struct RunResult {
 RunResult run_experiment(const RunConfig& cfg, bool use_cache = true,
                          ObsArtifacts* artifacts = nullptr);
 
-/// Run the full 8-benchmark suite for the given policies.
+/// Run the full 8-benchmark suite for the given policies, `jobs` at a time
+/// on a SweepRunner pool (0 = hardware_concurrency, 1 = serial). Results are
+/// in (workload, policy) input order and bit-identical for every jobs value.
 std::vector<RunResult> run_suite(const std::vector<system::PolicyKind>& policies,
                                  const workloads::WorkloadParams& params = {},
-                                 bool use_cache = true);
+                                 bool use_cache = true, unsigned jobs = 1);
 
 /// Pull the result for (workload, policy) out of a suite result set.
 const RunResult& find_result(const std::vector<RunResult>& results,
