@@ -134,9 +134,17 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
                                   AccessKind kind) {
   Bank& b = banks_[bank];
   auto process = [this, bank, requester, line, kind] {
+    if (health_ != nullptr && !health_->bank_ok(bank)) {
+      // The home bank died while this request was queued/in flight: bounce
+      // it to the healthy-set home instead of servicing a dead array.
+      bounce_request(bank, requester, line, kind);
+      return;
+    }
     Bank& bb = banks_[bank];
     const Cycle start = eq_.now() > bb.next_free ? eq_.now() : bb.next_free;
-    bb.next_free = start + cfg_.bank_service_interval;
+    Cycle interval = cfg_.bank_service_interval;
+    if (health_ != nullptr) interval *= health_->bank_factor(bank);
+    bb.next_free = start + interval;
     eq_.schedule_at(start + cfg_.llc_latency, [this, bank, requester, line, kind] {
       stats_.llc_requests.inc();
       ++banks_[bank].counters.requests;
@@ -189,6 +197,13 @@ void CoherentSystem::bank_respond_read(BankId bank, CoreId requester,
         oln->meta.state = L1Meta::State::S;
         oln->meta.dirty = false;
         net_.send(owner, bank, MsgClass::Data, [this, bank, line] {
+          if (health_ != nullptr && !health_->bank_ok(bank)) {
+            // Dirty downgrade data arriving at a dead bank: divert to memory
+            // so the only up-to-date copy is not dropped.
+            ++health_->counters.dead_bank_writebacks;
+            memory_writeback(bank, line);
+            return;
+          }
           if (auto* l = banks_[bank].array.find(line)) l->meta.dirty = true;
         });
       }
@@ -260,7 +275,12 @@ void CoherentSystem::bank_respond_write(BankId bank, CoreId requester,
       const MsgClass cls = dirty ? MsgClass::Data : MsgClass::Control;
       net_.send(t, bank, cls, [this, bank, line, dirty, join] {
         if (dirty) {
-          if (auto* l = banks_[bank].array.find(line)) l->meta.dirty = true;
+          if (health_ != nullptr && !health_->bank_ok(bank)) {
+            ++health_->counters.dead_bank_writebacks;
+            memory_writeback(bank, line);
+          } else if (auto* l = banks_[bank].array.find(line)) {
+            l->meta.dirty = true;
+          }
         }
         join->complete();
       });
@@ -278,6 +298,12 @@ void CoherentSystem::bank_fetch_from_memory(BankId bank, CoreId requester,
     const Cycle ready = mcs_.mc(mc).request(eq_.now(), AccessKind::Read);
     eq_.schedule_at(ready, [this, bank, requester, line, kind, mc_tile] {
       net_.send(mc_tile, bank, MsgClass::Data, [this, bank, requester, line, kind] {
+        if (health_ != nullptr && !health_->bank_ok(bank)) {
+          // The bank died while the fill was in flight: the data cannot be
+          // installed; restart the transaction at the healthy-set home.
+          bounce_request(bank, requester, line, kind);
+          return;
+        }
         bank_install(bank, line);
         if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
         else bank_respond_write(bank, requester, line);
@@ -322,6 +348,13 @@ void CoherentSystem::bank_unblock(BankId bank, Addr line) {
 }
 
 void CoherentSystem::bank_writeback(BankId bank, CoreId from, Addr line) {
+  if (health_ != nullptr && !health_->bank_ok(bank)) {
+    // The home bank died while the PutM was in flight: forward the dirty
+    // data straight to memory.
+    ++health_->counters.dead_bank_writebacks;
+    memory_writeback(bank, line);
+    return;
+  }
   stats_.llc_writebacks.inc();
   ++banks_[bank].counters.writebacks;
   auto* ln = banks_[bank].array.find(line);
@@ -333,6 +366,62 @@ void CoherentSystem::bank_writeback(BankId bank, CoreId from, Addr line) {
   }
   ln->meta.dirty = true;
   if (ln->meta.owner == from) ln->meta.owner = kInvalidCore;
+}
+
+// --------------------------------------------------------------------------
+// Fault handling
+// --------------------------------------------------------------------------
+
+void CoherentSystem::bounce_request(BankId bank, CoreId requester, Addr line,
+                                    AccessKind kind) {
+  TDN_ASSERT(health_ != nullptr);
+  ++health_->counters.bounced_requests;
+  const BankId nb = health_->remap_bank(line);
+  net_.send(bank, nb, MsgClass::Control, [this, nb, requester, line, kind] {
+    bank_request(nb, requester, line, kind);
+  });
+  // Release this bank's block; any queued requests replay and bounce too.
+  bank_unblock(bank, line);
+}
+
+void CoherentSystem::evacuate_bank(BankId bank) {
+  TDN_REQUIRE(bank < banks_.size(), "evacuate_bank: bank out of range");
+  Bank& b = banks_[bank];
+  const AddrRange all{0, ~Addr{0}};
+  b.array.for_each_in_range(all, [&](Addr la, LlcMeta& m) {
+    if (b.blocked.count(la) != 0) {
+      // A transaction is in flight on this line; evacuate once it settles.
+      b.blocked[la].push_back([this, bank, la] {
+        if (auto* ln = banks_[bank].array.find(la)) {
+          evacuate_line(bank, la, ln->meta);
+          banks_[bank].array.invalidate(la);
+        }
+        bank_unblock(bank, la);
+      });
+      return false;  // keep for now
+    }
+    evacuate_line(bank, la, m);
+    return true;  // invalidate
+  });
+}
+
+void CoherentSystem::evacuate_line(BankId bank, Addr la, const LlcMeta& m) {
+  if (health_ != nullptr) {
+    ++health_->counters.evacuated_lines;
+    if (m.dirty) ++health_->counters.evacuated_dirty;
+  }
+  // Inclusive LLC: tracked L1 copies lose their home and are displaced, the
+  // way a capacity eviction displaces them; owners write dirty data back to
+  // memory on the invalidation.
+  CoreMask copies = m.sharers;
+  if (m.owner != kInvalidCore) copies.set(m.owner);
+  copies.for_each([&](CoreId t) {
+    stats_.back_invalidations.inc();
+    net_.send(bank, t, MsgClass::Control, [this, t, la] {
+      l1_invalidate(t, la, /*writeback_to_memory=*/true);
+    });
+  });
+  if (m.dirty) memory_writeback(bank, la);
 }
 
 // --------------------------------------------------------------------------

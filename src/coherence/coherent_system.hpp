@@ -32,6 +32,7 @@
 #include "coherence/config.hpp"
 #include "common/tile_mask.hpp"
 #include "common/types.hpp"
+#include "fault/health.hpp"
 #include "mem/dram.hpp"
 #include "noc/network.hpp"
 #include "nuca/mapping.hpp"
@@ -83,6 +84,15 @@ class CoherentSystem final : public nuca::CacheOps {
   void flush_llc_range(BankMask banks, const AddrRange& prange,
                        std::function<void()> done) override;
   Cycle now() const override { return eq_.now(); }
+
+  // --- fault injection / graceful degradation --------------------------
+  /// Attach the shared resource-health view. Null (the default) keeps every
+  /// path identical to the fault-free protocol.
+  void set_health(const fault::HealthState* health) { health_ = health; }
+  /// Drain a failed bank: back-invalidate tracked L1 copies, write dirty
+  /// lines to memory and empty the array. Lines with an in-flight
+  /// transaction are evacuated when the transaction unblocks.
+  void evacuate_bank(BankId bank);
 
   // --- statistics ------------------------------------------------------
   struct Stats {
@@ -136,6 +146,15 @@ class CoherentSystem final : public nuca::CacheOps {
   std::uint64_t bank_capacity_lines() const {
     return cfg_.llc_bank.size_bytes / cfg_.llc_bank.line_size;
   }
+  /// Misses still in flight in @p core's MSHR file (invariant checking:
+  /// must be zero once the simulation has drained).
+  std::uint64_t mshr_outstanding(CoreId core) const {
+    return l1s_.at(core).mshr.outstanding();
+  }
+  /// Lines with an open (blocking-directory) transaction at @p bank.
+  std::uint64_t bank_blocked_lines(BankId bank) const {
+    return banks_.at(bank).blocked.size();
+  }
 
   unsigned num_cores() const noexcept { return num_cores_; }
   const HierarchyConfig& config() const noexcept { return cfg_; }
@@ -185,6 +204,11 @@ class CoherentSystem final : public nuca::CacheOps {
 
   void bypass_fetch(CoreId core, Addr line, AccessKind kind, Cycle issued_at);
   void memory_writeback(CoreId from_tile, Addr line);
+  /// Bounce a request that reached a dead bank onto the healthy-set home,
+  /// releasing this bank's block on the line.
+  void bounce_request(BankId bank, CoreId requester, Addr line,
+                      AccessKind kind);
+  void evacuate_line(BankId bank, Addr la, const LlcMeta& m);
   void flush_llc_line_now(BankId bank, Addr la, const LlcMeta& m,
                           const std::shared_ptr<sim::Joiner>& join,
                           Cycle delay);
@@ -197,6 +221,7 @@ class CoherentSystem final : public nuca::CacheOps {
   HierarchyConfig cfg_;
   unsigned num_cores_;
   obs::Recorder* rec_;
+  const fault::HealthState* health_ = nullptr;
 
   std::vector<L1> l1s_;
   std::vector<Bank> banks_;

@@ -12,4 +12,12 @@ void require_failed(const char* expr, const char* file, int line,
   throw RequireError(os.str());
 }
 
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << msg << " [" << expr << "] at " << file << ":"
+     << line;
+  throw RequireError(os.str());
+}
+
 }  // namespace tdn

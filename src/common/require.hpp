@@ -1,8 +1,14 @@
-// Error handling policy (C++ Core Guidelines E.*):
+// Error handling policy (C++ Core Guidelines E.*) — three tiers:
 //   * TDN_REQUIRE  — precondition / configuration validation; throws
 //     tdn::RequireError so callers and tests can observe the failure.
-//   * TDN_ASSERT   — internal invariants; aborts in debug, compiled out in
-//     release unless TDN_CHECKED is defined.
+//     Always active. Use for errors caused by bad input.
+//   * TDN_CHECK    — runtime invariants that must hold even in Release
+//     builds (e.g. the end-of-run fault::InvariantChecker, NoC retry-budget
+//     exhaustion). Throws tdn::RequireError like TDN_REQUIRE but documents
+//     that the failure is a bug in the simulator, not in the caller's input.
+//     Always active; keep it off hot per-access paths.
+//   * TDN_ASSERT   — internal invariants on hot paths; aborts in debug,
+//     compiled out in release unless TDN_CHECKED is defined.
 #pragma once
 
 #include <stdexcept>
@@ -18,6 +24,9 @@ class RequireError : public std::runtime_error {
 [[noreturn]] void require_failed(const char* expr, const char* file, int line,
                                  const std::string& msg);
 
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+
 }  // namespace tdn
 
 #define TDN_REQUIRE(expr, msg)                                 \
@@ -25,6 +34,13 @@ class RequireError : public std::runtime_error {
     if (!(expr)) {                                             \
       ::tdn::require_failed(#expr, __FILE__, __LINE__, (msg)); \
     }                                                          \
+  } while (false)
+
+#define TDN_CHECK(expr, msg)                                 \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::tdn::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                        \
   } while (false)
 
 #if !defined(NDEBUG) || defined(TDN_CHECKED)

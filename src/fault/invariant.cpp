@@ -1,0 +1,70 @@
+#include "fault/invariant.hpp"
+
+#include <sstream>
+
+#include "coherence/coherent_system.hpp"
+#include "nuca/tdnuca_policy.hpp"
+#include "tdnuca/runtime_hooks.hpp"
+
+namespace tdn::fault {
+
+std::string InvariantReport::to_string() const {
+  if (violations.empty()) return "invariants: ok";
+  std::ostringstream os;
+  os << "invariant violations (" << violations.size() << "):";
+  for (const std::string& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+InvariantReport check_invariants(const coherence::CoherentSystem& caches,
+                                 const nuca::TdNucaPolicy* policy,
+                                 const tdnuca::TdNucaRuntimeHooks* hooks,
+                                 const HealthState* health,
+                                 unsigned num_cores) {
+  InvariantReport rep;
+  auto fail = [&rep](std::string v) { rep.violations.push_back(std::move(v)); };
+
+  for (CoreId c = 0; c < num_cores; ++c) {
+    if (const auto n = caches.mshr_outstanding(c); n != 0) {
+      fail("core " + std::to_string(c) + " leaked " + std::to_string(n) +
+           " MSHR(s) after drain");
+    }
+  }
+  for (BankId b = 0; b < num_cores; ++b) {
+    if (const auto n = caches.bank_blocked_lines(b); n != 0) {
+      fail("bank " + std::to_string(b) + " still blocks " + std::to_string(n) +
+           " line(s): in-flight coherence after drain");
+    }
+  }
+  if (health != nullptr && health->any_bank_failed()) {
+    health->failed_banks().for_each([&](CoreId b) {
+      if (const auto n = caches.bank_occupied_lines(b); n != 0) {
+        fail("failed bank " + std::to_string(b) + " still holds " +
+             std::to_string(n) + " resident line(s)");
+      }
+    });
+  }
+  if (policy != nullptr) {
+    const BankMask healthy = health != nullptr
+                                 ? health->healthy_banks()
+                                 : BankMask::first_n(num_cores);
+    for (CoreId c = 0; c < num_cores; ++c) {
+      for (const auto& e : policy->rrt(c).entries()) {
+        if (!((e.mask & healthy) == e.mask)) {
+          fail("core " + std::to_string(c) + " RRT entry [" +
+               std::to_string(e.prange.begin) + "," +
+               std::to_string(e.prange.end) + ") maps to unhealthy banks " +
+               e.mask.to_string(num_cores));
+        }
+      }
+    }
+  }
+  if (hooks != nullptr && !hooks->quiescent()) {
+    fail("TD-NUCA runtime not quiescent: " +
+         std::to_string(hooks->pending_flushes()) +
+         " flush(es) in flight / tasks still active");
+  }
+  return rep;
+}
+
+}  // namespace tdn::fault

@@ -1,0 +1,47 @@
+// End-of-run InvariantChecker — runs after the event queue drains, in
+// Release builds too (via TDN_CHECK), so silent state leaks become loud
+// failures instead of skewed metrics:
+//
+//   * no leaked MSHRs (every miss completed and retired),
+//   * no in-flight coherence transactions (every bank's blocked map empty),
+//   * every RRT entry maps only to healthy banks,
+//   * the TD-NUCA runtime is quiescent (no task mid-flight, every
+//     end-of-task flush drained),
+//   * failed banks hold no resident lines (evacuation completed).
+//
+// The checks are read-only: running them never changes metrics, so they are
+// active for healthy runs as well.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/health.hpp"
+
+namespace tdn::coherence {
+class CoherentSystem;
+}
+namespace tdn::nuca {
+class TdNucaPolicy;
+}
+namespace tdn::tdnuca {
+class TdNucaRuntimeHooks;
+}
+
+namespace tdn::fault {
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// @p policy / @p hooks / @p health may be null (policy-dependent checks are
+/// skipped; a null health means all banks are treated as healthy).
+InvariantReport check_invariants(const coherence::CoherentSystem& caches,
+                                 const nuca::TdNucaPolicy* policy,
+                                 const tdnuca::TdNucaRuntimeHooks* hooks,
+                                 const HealthState* health,
+                                 unsigned num_cores);
+
+}  // namespace tdn::fault

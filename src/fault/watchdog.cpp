@@ -1,0 +1,49 @@
+#include "fault/watchdog.hpp"
+
+#include <sstream>
+
+namespace tdn::fault {
+
+void Watchdog::arm() {
+  if (budget_ == 0) return;
+  last_executed_ = eq_.executed();
+  last_progress_ = progress_ ? progress_() : 0;
+  eq_.schedule_observer_in(budget_, [this] { tick(); });
+}
+
+void Watchdog::tick() {
+  ++ticks_;
+  if (fired_) return;
+  if (eq_.real_pending() == 0) return;  // drained: nothing left to watch
+  const std::uint64_t executed = eq_.executed();
+  const std::uint64_t progress = progress_ ? progress_() : 0;
+  const bool live = executed != last_executed_;
+  const bool advanced = progress != last_progress_;
+  last_executed_ = executed;
+  last_progress_ = progress;
+  if (live && !advanced) {
+    fired_ = true;
+    const std::string d = dump();
+    if (on_fire_) {
+      on_fire_(d);
+      return;  // collector chose not to throw; keep quiet afterwards
+    }
+    throw WatchdogError(d);
+  }
+  eq_.schedule_observer_in(budget_, [this] { tick(); });
+}
+
+std::string Watchdog::dump() const {
+  std::ostringstream os;
+  os << "watchdog: no forward progress for " << budget_
+     << " cycles despite live event traffic (possible deadlock/livelock)\n";
+  os << "  cycle=" << eq_.now() << " pending=" << eq_.pending()
+     << " real_pending=" << eq_.real_pending()
+     << " executed=" << eq_.executed() << '\n';
+  for (const auto& [name, fn] : diagnostics_) {
+    os << "  " << name << ": " << fn() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tdn::fault

@@ -102,14 +102,24 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
 
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v3": derived-metric schema version; bump to invalidate cached results
+  // "v4": derived-metric schema version; bump to invalidate cached results
   // when the metric extraction changes (v3 added the per-bank llc.bankN.*
-  // keys).
-  os << "v3/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // keys; v4 added the fault.* keys and folded the fault plan into the
+  // system fingerprint).
+  os << "v4/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
      << sys.fingerprint();
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
+}
+
+std::string RunConfig::describe() const {
+  std::ostringstream os;
+  os << workload << '/' << system::to_string(policy)
+     << " scale=" << params.scale << " compute=" << params.compute
+     << " seed=" << params.seed;
+  if (!sys.fault.plan.empty()) os << " faults=\"" << sys.fault.plan << '"';
+  return os.str();
 }
 
 double RunResult::get(const std::string& key) const {

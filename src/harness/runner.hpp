@@ -54,6 +54,10 @@ struct RunConfig {
   ObsOptions obs{};            ///< not fingerprinted; see ObsOptions
 
   std::uint64_t fingerprint() const;
+  /// One-line human description (workload, policy, params, fault plan) —
+  /// attached to sweep errors so a failure out of hundreds of runs
+  /// identifies itself.
+  std::string describe() const;
 };
 
 struct RunResult {

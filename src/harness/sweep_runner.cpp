@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/require.hpp"
 
 namespace tdn::harness {
 
@@ -163,14 +164,14 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunConfig>& configs) {
   // Collect in input order; duplicate-fingerprint positions share a copy of
   // the one simulated result.
   std::vector<RunResult> out(configs.size());
-  const std::exception_ptr* first_error = nullptr;
+  const WorkItem* first_error_item = nullptr;
   std::size_t first_error_pos = configs.size();
   for (const WorkItem& item : items) {
     for (const std::size_t pos : item.positions) {
       if (item.error != nullptr) {
         if (pos < first_error_pos) {
           first_error_pos = pos;
-          first_error = &item.error;
+          first_error_item = &item;
         }
         continue;
       }
@@ -199,7 +200,21 @@ std::vector<RunResult> SweepRunner::run(const std::vector<RunConfig>& configs) {
 
   progress.summary(stats_);
 
-  if (first_error != nullptr) std::rethrow_exception(*first_error);
+  if (first_error_item != nullptr) {
+    // With jobs>1 the original throw site says nothing about *which* config
+    // died; attach the run's identity and cache fingerprint.
+    std::ostringstream ctx;
+    ctx << "sweep run " << first_error_pos << " failed ["
+        << first_error_item->cfg.describe() << ", fingerprint=0x" << std::hex
+        << first_error_item->cfg.fingerprint() << "]";
+    try {
+      std::rethrow_exception(first_error_item->error);
+    } catch (const std::exception& e) {
+      throw RequireError(ctx.str() + ": " + e.what());
+    } catch (...) {
+      throw RequireError(ctx.str() + ": unknown exception");
+    }
+  }
   return out;
 }
 

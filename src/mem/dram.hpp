@@ -37,6 +37,12 @@ class MemController {
   Cycle busy_until() const noexcept { return next_free_; }
   const DramConfig& config() const noexcept { return cfg_; }
 
+  /// Fault injection (DRAM stall storm): hold the controller busy until
+  /// @p until; requests arriving meanwhile queue behind the horizon.
+  void inject_stall(Cycle until) {
+    if (until > next_free_) next_free_ = until;
+  }
+
  private:
   DramConfig cfg_;
   Cycle next_free_ = 0;

@@ -18,6 +18,22 @@ std::vector<CoreId> Mesh::xy_route(CoreId src, CoreId dst) const {
   return path;
 }
 
+std::vector<CoreId> Mesh::yx_route(CoreId src, CoreId dst) const {
+  std::vector<CoreId> path;
+  Coord c = coord(src);
+  const Coord d = coord(dst);
+  path.push_back(tile(c));
+  while (c.y != d.y) {  // Y first
+    c.y += (d.y > c.y) ? 1 : -1;
+    path.push_back(tile(c));
+  }
+  while (c.x != d.x) {  // then X
+    c.x += (d.x > c.x) ? 1 : -1;
+    path.push_back(tile(c));
+  }
+  return path;
+}
+
 std::vector<CoreId> Mesh::cluster_tiles(unsigned cluster, unsigned cluster_w,
                                         unsigned cluster_h) const {
   std::vector<CoreId> out;

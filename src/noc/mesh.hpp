@@ -47,6 +47,11 @@ class Mesh {
   /// Tiles on the XY route from src to dst, inclusive of both endpoints.
   std::vector<CoreId> xy_route(CoreId src, CoreId dst) const;
 
+  /// Tiles on the YX (Y-dimension first) route from src to dst, inclusive of
+  /// both endpoints. The deterministic fallback route when a link on the XY
+  /// path has failed.
+  std::vector<CoreId> yx_route(CoreId src, CoreId dst) const;
+
   /// The quadrant cluster (paper Sec. III "LLC Cluster Replication"):
   /// the mesh is divided into (w/2 x h/2)-aligned 2x2 quadrants on a 4x4
   /// mesh. Returns the cluster index of a tile.

@@ -33,13 +33,84 @@ bool Network::has_link(CoreId tile, unsigned dir) const {
   return false;
 }
 
+bool Network::path_blocked(const std::vector<CoreId>& path) const {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!health_->link_ok(path[i], dir_between(path[i], path[i + 1])))
+      return true;
+  }
+  return false;
+}
+
+CoreId Network::neighbor(CoreId tile, unsigned dir) const {
+  Coord c = mesh_.coord(tile);
+  switch (dir) {
+    case 0: ++c.x; break;
+    case 1: --c.x; break;
+    case 2: --c.y; break;
+    case 3: ++c.y; break;
+  }
+  return mesh_.tile(c);
+}
+
+bool Network::find_detour(CoreId src, CoreId dst,
+                          std::vector<CoreId>& path) const {
+  // X-Y and Y-X coincide when src and dst share a row or column, so a dead
+  // link between neighbours defeats both. Dog-leg through each healthy
+  // neighbour of src (fixed direction order keeps routing deterministic)
+  // and take the first fully healthy path.
+  for (unsigned dir = 0; dir < 4; ++dir) {
+    if (!has_link(src, dir) || !health_->link_ok(src, dir)) continue;
+    const CoreId w = neighbor(src, dir);
+    for (const bool yx : {false, true}) {
+      auto tail = yx ? mesh_.yx_route(w, dst) : mesh_.xy_route(w, dst);
+      std::vector<CoreId> cand;
+      cand.reserve(tail.size() + 1);
+      cand.push_back(src);
+      cand.insert(cand.end(), tail.begin(), tail.end());
+      if (!path_blocked(cand)) {
+        path = std::move(cand);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 void Network::send(CoreId src, CoreId dst, MsgClass cls,
                    std::function<void()> deliver) {
+  send_attempt(src, dst, cls, std::move(deliver), 0);
+}
+
+void Network::send_attempt(CoreId src, CoreId dst, MsgClass cls,
+                           std::function<void()> deliver, unsigned attempt) {
+  auto path = mesh_.xy_route(src, dst);
+  if (health_ != nullptr && health_->any_link_failed() && path_blocked(path)) {
+    auto alt = mesh_.yx_route(src, dst);
+    if (!path_blocked(alt)) {
+      ++health_->counters.noc_reroutes;
+      path = std::move(alt);
+    } else if (find_detour(src, dst, path)) {
+      ++health_->counters.noc_reroutes;
+    } else {
+      // Every known route crosses a dead link (a cut through the mesh).
+      // Back off and retry a bounded number of times; the bound turns a
+      // silent livelock into a diagnosable failure.
+      TDN_CHECK(attempt < cfg_.dead_link_max_retries,
+                "message cannot route around failed links");
+      ++health_->counters.noc_retries;
+      eq_.schedule_in(
+          cfg_.dead_link_backoff * (attempt + 1),
+          [this, src, dst, cls, deliver = std::move(deliver),
+           attempt]() mutable {
+            send_attempt(src, dst, cls, std::move(deliver), attempt + 1);
+          });
+      return;
+    }
+  }
   const unsigned bytes = bytes_of(cls);
   messages_.inc();
   if (cls == MsgClass::Data) data_messages_.inc();
 
-  const auto path = mesh_.xy_route(src, dst);
   // Every router the message traverses (including src and dst) moves the
   // payload through its crossbar once.
   for (const CoreId t : path) {
@@ -57,7 +128,12 @@ void Network::send(CoreId src, CoreId dst, MsgClass cls,
     Link& link = links_[path[i]][dir];
     link_bytes_[path[i]][dir] += bytes;
     const Cycle depart = t > link.next_free ? t : link.next_free;
-    link.next_free = depart + serialization;
+    // A bandwidth-degraded link serializes the same bytes over a longer
+    // occupancy window (the degradation factor).
+    Cycle occupancy = serialization;
+    if (health_ != nullptr)
+      occupancy *= health_->link_factor(path[i], dir);
+    link.next_free = depart + occupancy;
     t = depart + cfg_.router_latency + cfg_.link_latency;
   }
   latency_.add(static_cast<double>(t - start));

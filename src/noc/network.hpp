@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/health.hpp"
 #include "noc/mesh.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/counters.hpp"
@@ -33,6 +34,13 @@ struct NetworkConfig {
   unsigned link_bytes_per_cycle = 16;
   unsigned control_bytes = 8;
   unsigned data_bytes = 72;  ///< 8B header + 64B line
+  /// Fault handling: when every deterministic route (XY, the YX fallback,
+  /// and the dog-leg detours through src's neighbours) crosses a failed
+  /// link, the message backs off dead_link_backoff * (attempt + 1) cycles
+  /// and retries, up to dead_link_max_retries attempts before the run is
+  /// declared unroutable (TDN_CHECK).
+  Cycle dead_link_backoff = 8;
+  unsigned dead_link_max_retries = 16;
 };
 
 class Network {
@@ -44,6 +52,10 @@ class Network {
   /// the bytes still count as passing through the one local router.
   void send(CoreId src, CoreId dst, MsgClass cls,
             std::function<void()> deliver);
+
+  /// Attach the shared resource-health view. Null (the default) keeps
+  /// routing on the plain XY path with no per-link checks.
+  void set_health(const fault::HealthState* health) { health_ = health; }
 
   unsigned bytes_of(MsgClass cls) const noexcept {
     return cls == MsgClass::Control ? cfg_.control_bytes : cfg_.data_bytes;
@@ -83,10 +95,21 @@ class Network {
   /// Direction index (0=E,1=W,2=N,3=S) of the link from @p from to the
   /// adjacent tile @p to.
   unsigned dir_between(CoreId from, CoreId to) const;
+  /// Whether any link on @p path (hop list, endpoints inclusive) has failed.
+  bool path_blocked(const std::vector<CoreId>& path) const;
+  /// The tile adjacent to @p tile in direction @p dir (must exist).
+  CoreId neighbor(CoreId tile, unsigned dir) const;
+  /// When XY and YX both cross a dead link (src/dst share a row or column),
+  /// try dog-leg routes through each healthy neighbour of src. Returns true
+  /// and fills @p path with the first fully healthy candidate.
+  bool find_detour(CoreId src, CoreId dst, std::vector<CoreId>& path) const;
+  void send_attempt(CoreId src, CoreId dst, MsgClass cls,
+                    std::function<void()> deliver, unsigned attempt);
 
   const Mesh& mesh_;
   sim::EventQueue& eq_;
   NetworkConfig cfg_;
+  const fault::HealthState* health_ = nullptr;
   std::vector<std::array<Link, 4>> links_;
   std::vector<std::array<std::uint64_t, kLinkDirs>> link_bytes_;
   std::vector<std::uint64_t> per_router_bytes_;

@@ -16,6 +16,7 @@
 
 #include "common/tile_mask.hpp"
 #include "common/types.hpp"
+#include "fault/health.hpp"
 
 namespace tdn::nuca {
 
@@ -73,8 +74,22 @@ class MappingPolicy {
   /// Inject the cache-maintenance backend (called by the system builder).
   virtual void set_ops(CacheOps* ops) { ops_ = ops; }
 
+  /// Attach the shared resource-health view (fault injection). Null — the
+  /// default — keeps every decision on the original, fault-free path.
+  void set_health(const fault::HealthState* health) { health_ = health; }
+
  protected:
+  /// Degraded-mode guard for a bank choice: identity while the bank is
+  /// healthy (or no HealthState is attached); S-NUCA re-interleaving over
+  /// the healthy set once it has failed.
+  BankId degrade(BankId bank, Addr paddr) const {
+    if (health_ != nullptr && !health_->bank_ok(bank))
+      return health_->remap_bank(paddr);
+    return bank;
+  }
+
   CacheOps* ops_ = nullptr;
+  const fault::HealthState* health_ = nullptr;
 };
 
 }  // namespace tdn::nuca

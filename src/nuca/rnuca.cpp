@@ -72,17 +72,17 @@ MapDecision RNucaPolicy::map(CoreId core, Addr vaddr, Addr paddr,
   // on_access always runs first on the demand path, but writebacks can
   // outlive the map state; fall back to interleaving for unknown pages.
   if (it == pages_.end())
-    return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+    return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
   switch (it->second.cls) {
     case PageClass::Private:
-      return MapDecision::to_bank(it->second.owner);
+      return MapDecision::to_bank(degrade(it->second.owner, paddr));
     case PageClass::SharedRO:
-      return MapDecision::to_bank(
-          clusters_.bank_for(clusters_.cluster_of(core), paddr));
+      return MapDecision::to_bank(degrade(
+          clusters_.bank_for(clusters_.cluster_of(core), paddr), paddr));
     case PageClass::Shared:
-      return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+      return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
   }
-  return MapDecision::to_bank(snuca_bank(paddr, num_banks_));
+  return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
 }
 
 RNucaPolicy::Census RNucaPolicy::census() const {

@@ -20,14 +20,25 @@ MapDecision TdNucaPolicy::map(CoreId core, Addr /*vaddr*/, Addr paddr,
   const Cycle lat = cfg_.rrt_latency;
   if (!entry) {
     rrt_misses_.inc();
-    return MapDecision::to_bank(snuca_bank(paddr, num_banks_), lat);
+    return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr),
+                                lat);
   }
   rrt_hits_.inc();
-  const int bits = entry->mask.count();
+  BankMask mask = entry->mask;
+  if (health_ != nullptr && health_->any_bank_failed() && !mask.empty()) {
+    // Stale entries can survive briefly between a bank failure and the
+    // runtime's scrub pass; mask dead banks out here so no request targets
+    // them. A fully-dead mask falls back to healthy-set interleaving.
+    mask = mask & health_->healthy_banks();
+    if (mask.empty())
+      return MapDecision::to_bank(
+          degrade(snuca_bank(paddr, num_banks_), paddr), lat);
+  }
+  const int bits = mask.count();
   if (bits == 0) return MapDecision::bypass(lat);
-  if (bits == 1) return MapDecision::to_bank(entry->mask.sole_bit(), lat);
-  return MapDecision::to_bank(
-      tdnuca::ClusterMap::bank_for_mask(entry->mask, paddr), lat);
+  if (bits == 1) return MapDecision::to_bank(mask.sole_bit(), lat);
+  return MapDecision::to_bank(tdnuca::ClusterMap::bank_for_mask(mask, paddr),
+                              lat);
 }
 
 unsigned TdNucaPolicy::max_rrt_occupancy() const {

@@ -77,6 +77,7 @@ class Recorder {
   static constexpr std::uint32_t kRuntimeTrack = 1000;
   static constexpr std::uint32_t kFlushTrack = 1001;
   static constexpr std::uint32_t kCoherenceTrack = 1002;
+  static constexpr std::uint32_t kFaultTrack = 1003;
 
   // --- wiring (done by system::TiledSystem at construction) -------------
   /// The clock `span_now`/`instant` stamp events with.

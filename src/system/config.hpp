@@ -9,6 +9,7 @@
 #include "coherence/config.hpp"
 #include "common/types.hpp"
 #include "core/sim_core.hpp"
+#include "fault/injector.hpp"
 #include "mem/dram.hpp"
 #include "mem/page_table.hpp"
 #include "mem/tlb.hpp"
@@ -50,6 +51,7 @@ struct SystemConfig {
   nuca::TdNucaConfig tdnuca{};
   nuca::RNucaConfig rnuca{};
   tdnuca::HooksConfig hooks{};
+  fault::FaultConfig fault{};
 
   unsigned num_cores() const { return mesh_w * mesh_h; }
 

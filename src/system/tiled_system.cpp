@@ -5,6 +5,7 @@
 
 #include "common/prng.hpp"
 #include "common/require.hpp"
+#include "fault/invariant.hpp"
 #include "obs/recorder.hpp"
 
 namespace tdn::system {
@@ -45,7 +46,10 @@ std::uint64_t SystemConfig::fingerprint() const {
      << rnuca.reclassification_penalty << '/' << rnuca.first_touch_penalty
      << '/' << hooks.decision_overhead << '/' << hooks.isa.per_rrt_slot << '/'
      << hooks.isa.issue_overhead << '/' << hooks.isa.flush_poll_overhead << '/'
-     << hooks.dry_run << '/' << hooks.line_size;
+     << hooks.dry_run << '/' << hooks.line_size << '/'
+     << network.dead_link_backoff << '/' << network.dead_link_max_retries
+     << '/' << fault::FaultPlan::parse(fault.plan).canonical() << '/'
+     << fault.seed << '/' << fault.rrt_scrub_delay;
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
 }
@@ -152,6 +156,63 @@ TiledSystem::TiledSystem(SystemConfig cfg, obs::Recorder* rec)
   if (auto* aff = dynamic_cast<runtime::AffinityScheduler*>(scheduler_.get()))
     aff->set_tasks(&runtime_->tasks());
 
+  // --- fault injection ---------------------------------------------------
+  // Wiring only happens with a non-empty plan: every layer keeps a null
+  // HealthState pointer otherwise, so an empty plan is bit-identical to a
+  // build without fault support.
+  if (!cfg_.fault.plan.empty()) {
+    fault::FaultInjector::Targets t;
+    t.eq = &eq_;
+    t.mesh = &mesh_;
+    t.net = net_.get();
+    t.caches = caches_.get();
+    t.mcs = mcs_.get();
+    t.tdnuca = tdnuca_policy_.get();
+    t.rec = rec_;
+    injector_ = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(cfg_.fault.plan), cfg_.fault, t, n,
+        cfg_.hierarchy.l1.line_size);
+    const fault::HealthState* hs = &injector_->health();
+    active_policy_->set_health(hs);
+    if (tdnuca_policy_ && active_policy_ != tdnuca_policy_.get())
+      tdnuca_policy_->set_health(hs);
+    caches_->set_health(hs);
+    net_->set_health(hs);
+    if (hooks_td_) hooks_td_->set_health(hs);
+  }
+  if (cfg_.fault.watchdog_budget > 0) {
+    watchdog_ =
+        std::make_unique<fault::Watchdog>(eq_, cfg_.fault.watchdog_budget);
+    watchdog_->set_progress([this] {
+      const auto& cs = caches_->stats();
+      return runtime_->tasks_completed() + mcs_->total_accesses() +
+             caches_->llc_accesses() + cs.l1_hits.value() +
+             cs.l1_misses.value();
+    });
+    watchdog_->add_diagnostic("mshr_outstanding", [this] {
+      std::ostringstream os;
+      for (unsigned c = 0; c < cfg_.num_cores(); ++c)
+        if (const auto v = caches_->mshr_outstanding(c); v != 0)
+          os << " core" << c << '=' << v;
+      return os.str().empty() ? std::string(" none") : os.str();
+    });
+    watchdog_->add_diagnostic("blocked_bank_lines", [this] {
+      std::ostringstream os;
+      for (unsigned b = 0; b < cfg_.num_cores(); ++b)
+        if (const auto v = caches_->bank_blocked_lines(b); v != 0)
+          os << " bank" << b << '=' << v;
+      return os.str().empty() ? std::string(" none") : os.str();
+    });
+    watchdog_->add_diagnostic("runtime", [this] {
+      std::ostringstream os;
+      os << " ready_tasks=" << scheduler_->size()
+         << " tasks_completed=" << runtime_->tasks_completed();
+      if (hooks_td_)
+        os << " pending_flushes=" << hooks_td_->pending_flushes();
+      return os.str();
+    });
+  }
+
   if (rec_ != nullptr) register_observability();
 }
 
@@ -230,6 +291,19 @@ void TiledSystem::register_observability() {
              static_cast<double>(mc.config().service_interval);
     });
   }
+  if (injector_) {
+    rec_->set_track_name(obs::Recorder::kFaultTrack, "faults");
+    rec_->add_series("fault.healthy_banks", [this] {
+      return static_cast<double>(injector_->health().num_healthy());
+    });
+    rec_->add_series("fault.bounced_requests", [this] {
+      return static_cast<double>(
+          injector_->health().counters.bounced_requests);
+    });
+    rec_->add_series("fault.noc_reroutes", [this] {
+      return static_cast<double>(injector_->health().counters.noc_reroutes);
+    });
+  }
 
   // --- heatmaps -----------------------------------------------------------
   const unsigned w = cfg_.mesh_w;
@@ -273,9 +347,19 @@ TiledSystem::~TiledSystem() = default;
 Cycle TiledSystem::run(Cycle cycle_limit) {
   completed_ = false;
   if (rec_ != nullptr) rec_->arm(eq_);
+  if (injector_) injector_->arm();
+  if (watchdog_) watchdog_->arm();
   runtime_->run([this] { completed_ = true; });
   eq_.run_until(cycle_limit);
   TDN_REQUIRE(completed_, "simulation drained without completing all tasks");
+  if (cfg_.fault.check_invariants) {
+    const fault::HealthState* hs =
+        injector_ ? &injector_->health() : nullptr;
+    const fault::InvariantReport report = fault::check_invariants(
+        *caches_, tdnuca_policy_.get(), hooks_td_.get(), hs,
+        cfg_.num_cores());
+    TDN_CHECK(report.ok(), report.to_string());
+  }
   return runtime_->makespan();
 }
 
@@ -354,6 +438,33 @@ stats::Registry TiledSystem::collect_stats() const {
     r.set("rnuca.private_pages", static_cast<double>(c.private_pages));
     r.set("rnuca.shared_ro_pages", static_cast<double>(c.shared_ro_pages));
     r.set("rnuca.shared_pages", static_cast<double>(c.shared_pages));
+  }
+  if (injector_) {
+    // Only present with an active plan so healthy runs keep the pre-fault
+    // key set (and thus byte-identical serialized results).
+    const fault::FaultCounters& fc = injector_->health().counters;
+    r.set("fault.banks_failed", static_cast<double>(fc.banks_failed));
+    r.set("fault.banks_slowed", static_cast<double>(fc.banks_slowed));
+    r.set("fault.links_failed", static_cast<double>(fc.links_failed));
+    r.set("fault.links_degraded", static_cast<double>(fc.links_degraded));
+    r.set("fault.bounced_requests",
+          static_cast<double>(fc.bounced_requests));
+    r.set("fault.dead_bank_writebacks",
+          static_cast<double>(fc.dead_bank_writebacks));
+    r.set("fault.evacuated_lines", static_cast<double>(fc.evacuated_lines));
+    r.set("fault.evacuated_dirty", static_cast<double>(fc.evacuated_dirty));
+    r.set("fault.rrt_entries_narrowed",
+          static_cast<double>(fc.rrt_entries_narrowed));
+    r.set("fault.rrt_entries_dropped",
+          static_cast<double>(fc.rrt_entries_dropped));
+    r.set("fault.rrt_corruptions", static_cast<double>(fc.rrt_corruptions));
+    r.set("fault.rrt_evictions", static_cast<double>(fc.rrt_evictions));
+    r.set("fault.rrt_scrubs", static_cast<double>(fc.rrt_scrubs));
+    r.set("fault.noc_reroutes", static_cast<double>(fc.noc_reroutes));
+    r.set("fault.noc_retries", static_cast<double>(fc.noc_retries));
+    r.set("fault.dram_stalls", static_cast<double>(fc.dram_stalls));
+    r.set("fault.healthy_banks",
+          static_cast<double>(injector_->health().num_healthy()));
   }
   return r;
 }

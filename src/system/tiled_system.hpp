@@ -11,6 +11,8 @@
 #include "coherence/coherent_system.hpp"
 #include "core/sim_core.hpp"
 #include "energy/energy_model.hpp"
+#include "fault/injector.hpp"
+#include "fault/watchdog.hpp"
 #include "mem/address_space.hpp"
 #include "mem/dram.hpp"
 #include "mem/page_table.hpp"
@@ -70,6 +72,11 @@ class TiledSystem {
   nuca::RNucaPolicy* rnuca_policy() noexcept { return rnuca_policy_.get(); }
   tdnuca::TdNucaRuntimeHooks* tdnuca_hooks() noexcept { return hooks_td_.get(); }
 
+  /// Non-null only when cfg.fault.plan is non-empty.
+  fault::FaultInjector* fault_injector() noexcept { return injector_.get(); }
+  /// Non-null only when cfg.fault.watchdog_budget > 0.
+  fault::Watchdog* watchdog() noexcept { return watchdog_.get(); }
+
   energy::EnergyBreakdown energy(
       const energy::EnergyParams& params = {}) const;
 
@@ -100,6 +107,9 @@ class TiledSystem {
   std::unique_ptr<runtime::RuntimeHooks> hooks_base_;
   std::unique_ptr<tdnuca::TdNucaRuntimeHooks> hooks_td_;
   std::unique_ptr<runtime::RuntimeSystem> runtime_;
+
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::Watchdog> watchdog_;
 
   bool completed_ = false;
 };

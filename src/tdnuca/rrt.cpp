@@ -8,14 +8,38 @@ namespace tdn::tdnuca {
 
 bool Rrt::register_range(const AddrRange& prange, BankMask mask) {
   TDN_REQUIRE(!prange.empty(), "RRT ranges must be non-empty");
-  if (entries_.size() >= capacity_) {
-    overflow_.inc();
-    return false;
+  // Trim the new range against existing entries: older registrations keep
+  // steering the addresses they already cover (the pre-split first-match
+  // lookup resolved overlaps the same way), and entries stay disjoint.
+  std::vector<AddrRange> pieces{prange};
+  for (const RrtEntry& e : entries_) {
+    std::vector<AddrRange> next;
+    for (const AddrRange& p : pieces) {
+      if (!p.overlaps(e.prange)) {
+        next.push_back(p);
+        continue;
+      }
+      overlap_trims_.inc();
+      if (p.begin < e.prange.begin) next.push_back({p.begin, e.prange.begin});
+      if (e.prange.end < p.end) next.push_back({e.prange.end, p.end});
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) break;
   }
-  entries_.push_back(RrtEntry{prange, mask});
+  bool all_inserted = true;
+  std::sort(pieces.begin(), pieces.end(),
+            [](const AddrRange& a, const AddrRange& b) { return a.begin < b.begin; });
+  for (const AddrRange& p : pieces) {
+    if (entries_.size() >= capacity_) {
+      overflow_.inc();
+      all_inserted = false;
+      continue;
+    }
+    entries_.push_back(RrtEntry{p, mask});
+  }
   max_occupancy_ = std::max<unsigned>(max_occupancy_,
                                       static_cast<unsigned>(entries_.size()));
-  return true;
+  return all_inserted;
 }
 
 unsigned Rrt::invalidate_range(const AddrRange& prange) {
@@ -34,6 +58,40 @@ std::optional<RrtEntry> Rrt::lookup(Addr paddr) const {
     if (e.prange.contains(paddr)) return e;
   }
   return std::nullopt;
+}
+
+Rrt::HealResult Rrt::heal(BankMask healthy) {
+  HealResult res;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->mask.empty()) {  // bypass entries reference no bank
+      ++it;
+      continue;
+    }
+    const BankMask surviving = it->mask & healthy;
+    if (surviving == it->mask) {
+      ++it;
+    } else if (surviving.empty()) {
+      it = entries_.erase(it);  // fall back to S-NUCA over the healthy set
+      ++res.erased;
+    } else {
+      it->mask = surviving;
+      ++it;
+      ++res.narrowed;
+    }
+  }
+  return res;
+}
+
+void Rrt::corrupt_entry(unsigned idx, BankMask mask) {
+  TDN_REQUIRE(idx < entries_.size(), "RRT corrupt index out of range");
+  entries_[idx].mask = mask;
+}
+
+AddrRange Rrt::evict_entry(unsigned idx) {
+  TDN_REQUIRE(idx < entries_.size(), "RRT evict index out of range");
+  const AddrRange r = entries_[idx].prange;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return r;
 }
 
 }  // namespace tdn::tdnuca

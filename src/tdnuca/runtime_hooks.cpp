@@ -52,6 +52,24 @@ void TdNucaRuntimeHooks::flush_finished(DepId dep) {
   }
 }
 
+bool TdNucaRuntimeHooks::quiescent() const {
+  if (!active_.empty()) return false;
+  for (const auto& [dep, s] : sync_) {
+    (void)dep;
+    if (s.pending > 0 || !s.waiters.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t TdNucaRuntimeHooks::pending_flushes() const {
+  std::uint64_t n = 0;
+  for (const auto& [dep, s] : sync_) {
+    (void)dep;
+    n += s.pending;
+  }
+  return n;
+}
+
 void TdNucaRuntimeHooks::when_clean(
     const std::vector<runtime::DepAccess>& deps, std::function<void()> fn) {
   for (const auto& a : deps) {
@@ -138,6 +156,21 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
     else if (a.writes()) p = Placement::LocalBank;
     else p = Placement::Replicated;
     if (bypass_only && p != Placement::Bypass) p = Placement::Unmapped;
+
+    // --- degraded-mode placement guard ---------------------------------
+    // Never pin a dependency to a failed bank: local-bank placement on a
+    // dead local bank and replication into a fully-dead cluster both fall
+    // back to S-NUCA interleaving over the healthy set.
+    if (health_ != nullptr && health_->any_bank_failed()) {
+      if (p == Placement::LocalBank && !health_->bank_ok(cid)) {
+        p = Placement::Unmapped;
+      } else if (p == Placement::Replicated) {
+        const unsigned cl = policy_.clusters().cluster_of(cid);
+        if ((policy_.clusters().mask_of(cl) & health_->healthy_banks())
+                .empty())
+          p = Placement::Unmapped;
+      }
+    }
 
     // --- lazy read-only invalidation (Sec. III-C2) ---------------------
     // A replicated dependency that is about to be written must first be
@@ -241,6 +274,10 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
         n_replicated_.inc();
         const unsigned cluster = policy_.clusters().cluster_of(cid);
         pd.mask = policy_.clusters().mask_of(cluster);
+        // Replicate only over the cluster's surviving banks (the guard
+        // above ensures at least one remains).
+        if (health_ != nullptr && health_->any_bank_failed())
+          pd.mask = pd.mask & health_->healthy_banks();
         if (!cfg_.dry_run && !e.rrt_cores.test(cid)) {
           // First task on this core to read the dependency: register the
           // cluster mapping in this core's RRT. Later readers on the same

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/health.hpp"
 #include "mem/page_table.hpp"
 #include "nuca/tdnuca_policy.hpp"
 #include "runtime/hooks.hpp"
@@ -61,6 +62,17 @@ class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
   /// Wire the runtime (needed to resolve DepIds); must be called before the
   /// first task is created.
   void set_runtime(runtime::RuntimeSystem* rts) { rts_ = rts; }
+
+  /// Attach the shared resource-health view (fault injection): placement
+  /// decisions then avoid failed banks. Null — the default — keeps the
+  /// original Fig. 7 flowchart untouched.
+  void set_health(const fault::HealthState* health) { health_ = health; }
+
+  /// End-of-run invariant: no task holds active placements and no
+  /// end-of-task flush is still in flight.
+  bool quiescent() const;
+  /// Number of dependency flushes still draining.
+  std::uint64_t pending_flushes() const;
 
   void on_task_created(const runtime::Task& task) override;
   void before_task(runtime::Task& task, core::SimCore& core,
@@ -123,6 +135,7 @@ class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
   unsigned num_tiles_;
   HooksConfig cfg_;
   obs::Recorder* rec_;
+  const fault::HealthState* health_ = nullptr;
   runtime::RuntimeSystem* rts_ = nullptr;
   RtCacheDirectory dir_;
   std::unordered_map<TaskId, std::vector<PlacedDep>> active_;

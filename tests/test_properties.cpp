@@ -2,8 +2,10 @@
 // structural invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "cache/cache_array.hpp"
 #include "cache/replacement.hpp"
@@ -173,12 +175,36 @@ TEST_P(RrtProperty, LookupAgreesWithLinearScan) {
   const unsigned cap = GetParam();
   tdnuca::Rrt rrt(cap, 1);
   SplitMix64 rng(cap);
+  // Shadow model mirroring the RRT's disjoint-trim semantics: a new
+  // registration covers only the addresses no older entry already holds,
+  // split into pieces, inserted lowest-address first up to capacity.
   std::vector<std::pair<AddrRange, BankMask>> shadow;
+  auto subtract = [](std::vector<AddrRange> pieces, const AddrRange& e) {
+    std::vector<AddrRange> out;
+    for (const AddrRange& p : pieces) {
+      if (p.end <= e.begin || e.end <= p.begin) {
+        out.push_back(p);
+        continue;
+      }
+      if (p.begin < e.begin) out.push_back(AddrRange{p.begin, e.begin});
+      if (e.end < p.end) out.push_back(AddrRange{e.end, p.end});
+    }
+    return out;
+  };
   for (unsigned i = 0; i < cap; ++i) {
     const Addr begin = rng.next_below(1000) * 0x1000;
     const AddrRange r{begin, begin + (1 + rng.next_below(8)) * 0x1000};
     const BankMask m = BankMask::single(static_cast<CoreId>(i % 16));
-    if (rrt.register_range(r, m)) shadow.push_back({r, m});
+    rrt.register_range(r, m);
+    std::vector<AddrRange> pieces{r};
+    for (const auto& e : shadow) pieces = subtract(std::move(pieces), e.first);
+    std::sort(pieces.begin(), pieces.end(),
+              [](const AddrRange& a, const AddrRange& b) {
+                return a.begin < b.begin;
+              });
+    for (const AddrRange& p : pieces) {
+      if (shadow.size() < cap) shadow.push_back({p, m});
+    }
   }
   for (int probe = 0; probe < 500; ++probe) {
     const Addr a = rng.next_below(1200) * 0x800;
@@ -189,7 +215,10 @@ TEST_P(RrtProperty, LookupAgreesWithLinearScan) {
       return nullptr;
     }();
     EXPECT_EQ(got.has_value(), expect != nullptr);
-    if (got && expect) EXPECT_EQ(got->prange, expect->first);
+    if (got && expect) {
+      EXPECT_EQ(got->prange, expect->first);
+      EXPECT_EQ(got->mask, expect->second);
+    }
   }
 }
 
