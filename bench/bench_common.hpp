@@ -109,7 +109,29 @@ inline void obs_section(int argc, char** argv) {
     else if (a == "--heatmaps") cfg.obs.heatmaps_path = val(i);
     else if (a == "--heatmaps-json") cfg.obs.heatmaps_json_path = val(i);
     else if (a == "--epoch-cycles") cfg.obs.epoch_cycles = std::strtoull(val(i).c_str(), nullptr, 10);
-    else if (a == "--obs-workload") cfg.workload = val(i);
+    else if (a == "--obs-workload") {
+      cfg.workload = val(i);
+      // Reject typos up front with the full menu — a bad name would
+      // otherwise surface as an exception mid-run. '+'-joined mixes are
+      // instrumentable too, so validate each component.
+      bool ok = !cfg.workload.empty();
+      for (std::size_t start = 0; ok;) {
+        const std::size_t plus = cfg.workload.find('+', start);
+        const std::string part = cfg.workload.substr(
+            start, plus == std::string::npos ? std::string::npos : plus - start);
+        if (!workloads::is_valid_workload(part)) ok = false;
+        if (plus == std::string::npos) break;
+        start = plus + 1;
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "unknown --obs-workload '%s' (valid: %s; join with '+' "
+                     "for a multiprogram mix)\n",
+                     cfg.workload.c_str(),
+                     workloads::valid_workload_names().c_str());
+        std::exit(2);
+      }
+    }
     else if (a == "--obs-policy") {
       const std::string p = val(i);
       if (p == "snuca") cfg.policy = PolicyKind::SNuca;

@@ -96,26 +96,38 @@ class CacheArray {
   /// (lines with an in-flight coherence transaction). If every way is
   /// unevictable — which a blocking directory makes effectively impossible
   /// at 16 ways — the pseudo-LRU victim is used regardless.
+  ///
+  /// @p first_way / @p way_count, when way_count > 0, restrict the
+  /// allocation (invalid-way scan, victim choice and avoid fallback) to that
+  /// way range of the set — CAT-style way partitioning (tdn::multi).
+  /// way_count == 0 means the whole set.
   struct Eviction {
     Addr addr;
     Meta meta;
   };
   Line& allocate(Addr line_addr, std::optional<Eviction>& evicted,
-                 const std::function<bool(Addr)>& avoid = {}) {
+                 const std::function<bool(Addr)>& avoid = {},
+                 unsigned first_way = 0, unsigned way_count = 0) {
     TDN_ASSERT(find(line_addr) == nullptr);
+    if (way_count == 0) {
+      first_way = 0;
+      way_count = geo_.associativity;
+    }
+    TDN_ASSERT(first_way + way_count <= geo_.associativity);
+    const unsigned end_way = first_way + way_count;
     evicted.reset();
     const unsigned s = set_of(line_addr);
     unsigned way = geo_.associativity;  // first invalid way, if any
-    for (unsigned w = 0; w < geo_.associativity; ++w) {
+    for (unsigned w = first_way; w < end_way; ++w) {
       if (!at(s, w).valid()) {
         way = w;
         break;
       }
     }
     if (way == geo_.associativity) {
-      way = plru_[s].victim();
+      way = plru_[s].victim_in(first_way, way_count);
       if (avoid && avoid(at(s, way).addr)) {
-        for (unsigned w = 0; w < geo_.associativity; ++w) {
+        for (unsigned w = first_way; w < end_way; ++w) {
           if (!avoid(at(s, w).addr)) {
             way = w;
             break;
@@ -187,6 +199,14 @@ class CacheArray {
       }
     }
     return visited;
+  }
+
+  /// Visit every resident line, read-only (occupancy breakdowns).
+  void for_each_valid(
+      const std::function<void(Addr, const Meta&)>& visit) const {
+    for (const Line& ln : lines_) {
+      if (ln.valid()) visit(ln.addr, ln.meta);
+    }
   }
 
   std::uint64_t occupied_lines() const noexcept { return occupied_; }

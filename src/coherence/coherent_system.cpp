@@ -37,6 +37,51 @@ std::uint64_t CoherentSystem::llc_resident_lines() const {
 }
 
 // --------------------------------------------------------------------------
+// Multiprogram view (tdn::multi)
+// --------------------------------------------------------------------------
+
+void CoherentSystem::set_app_view(AppView view) {
+  TDN_REQUIRE(view.num_apps > 0, "app view needs at least one app");
+  TDN_REQUIRE(view.core_app.size() == num_cores_,
+              "app view must map every core");
+  for (std::uint8_t a : view.core_app)
+    TDN_REQUIRE(a < view.num_apps, "core mapped to an out-of-range app");
+  TDN_REQUIRE(view.ways.empty() || view.ways.size() == view.num_apps,
+              "way quotas must cover every app (or be empty)");
+  for (const WayRange& w : view.ways)
+    TDN_REQUIRE(w.first + w.count <= cfg_.llc_bank.associativity,
+                "way quota exceeds LLC associativity");
+  view_ = std::move(view);
+  app_counters_.assign(view_.num_apps, AppCounters{});
+}
+
+CoherentSystem::WayRange CoherentSystem::way_quota(CoreId core) const {
+  if (view_.num_apps == 0 || view_.ways.empty()) return WayRange{};
+  return view_.ways[view_.core_app[core]];
+}
+
+std::uint64_t CoherentSystem::cross_app_conflicts() const {
+  std::uint64_t n = 0;
+  for (const auto& b : banks_) n += b.cross_app_conflicts;
+  return n;
+}
+
+std::uint64_t CoherentSystem::app_resident_lines(unsigned app,
+                                                 BankId bank) const {
+  std::uint64_t n = 0;
+  banks_.at(bank).array.for_each_valid([&](Addr, const LlcMeta& m) {
+    if (m.app == app) ++n;
+  });
+  return n;
+}
+
+std::uint64_t CoherentSystem::app_resident_lines(unsigned app) const {
+  std::uint64_t n = 0;
+  for (BankId b = 0; b < banks_.size(); ++b) n += app_resident_lines(app, b);
+  return n;
+}
+
+// --------------------------------------------------------------------------
 // Demand path
 // --------------------------------------------------------------------------
 
@@ -144,10 +189,22 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
     const Cycle start = eq_.now() > bb.next_free ? eq_.now() : bb.next_free;
     Cycle interval = cfg_.bank_service_interval;
     if (health_ != nullptr) interval *= health_->bank_factor(bank);
+    if (view_.num_apps > 0) {
+      // Inter-app interference: this request queues behind the bank's
+      // service window and the previous occupant belongs to another app.
+      const std::uint8_t app = app_of(requester);
+      if (bb.next_free > eq_.now() && bb.last_app != kNoApp &&
+          bb.last_app != app)
+        ++bb.cross_app_conflicts;
+      bb.last_app = app;
+    }
     bb.next_free = start + interval;
     eq_.schedule_at(start + cfg_.llc_latency, [this, bank, requester, line, kind] {
       stats_.llc_requests.inc();
       ++banks_[bank].counters.requests;
+      AppCounters* ac =
+          view_.num_apps > 0 ? &app_counters_[app_of(requester)] : nullptr;
+      if (ac != nullptr) ++ac->llc_requests;
       auto* ln = banks_[bank].array.find(line);
       if (rec_ != nullptr && rec_->coherence_on()) {
         std::ostringstream args;
@@ -159,11 +216,13 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
       if (ln == nullptr) {
         stats_.llc_misses.inc();
         ++banks_[bank].counters.misses;
+        if (ac != nullptr) ++ac->llc_misses;
         bank_fetch_from_memory(bank, requester, line, kind);
         return;
       }
       stats_.llc_hits.inc();
       ++banks_[bank].counters.hits;
+      if (ac != nullptr) ++ac->llc_hits;
       banks_[bank].array.touch(line);
       if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
       else bank_respond_write(bank, requester, line);
@@ -304,7 +363,7 @@ void CoherentSystem::bank_fetch_from_memory(BankId bank, CoreId requester,
           bounce_request(bank, requester, line, kind);
           return;
         }
-        bank_install(bank, line);
+        bank_install(bank, requester, line);
         if (kind == AccessKind::Read) bank_respond_read(bank, requester, line);
         else bank_respond_write(bank, requester, line);
       });
@@ -312,11 +371,13 @@ void CoherentSystem::bank_fetch_from_memory(BankId bank, CoreId requester,
   });
 }
 
-void CoherentSystem::bank_install(BankId bank, Addr line) {
+void CoherentSystem::bank_install(BankId bank, CoreId requester, Addr line) {
   Bank& b = banks_[bank];
   std::optional<cache::CacheArray<LlcMeta>::Eviction> evicted;
   auto busy = [&b](Addr a) { return b.blocked.count(a) != 0; };
-  b.array.allocate(line, evicted, busy);
+  const WayRange wq = way_quota(requester);
+  auto& ln = b.array.allocate(line, evicted, busy, wq.first, wq.count);
+  if (view_.num_apps > 0) ln.meta.app = app_of(requester);
   if (!evicted) return;
   stats_.llc_evictions.inc();
   const Addr va = evicted->addr;
@@ -357,6 +418,7 @@ void CoherentSystem::bank_writeback(BankId bank, CoreId from, Addr line) {
   }
   stats_.llc_writebacks.inc();
   ++banks_[bank].counters.writebacks;
+  if (view_.num_apps > 0) ++app_counters_[app_of(from)].llc_writebacks;
   auto* ln = banks_[bank].array.find(line);
   if (ln == nullptr) {
     // The line was evicted from the (inclusive) LLC while the PutM crossed a
@@ -471,6 +533,7 @@ bool CoherentSystem::l1_invalidate(CoreId core, Addr line,
 void CoherentSystem::bypass_fetch(CoreId core, Addr line, AccessKind kind,
                                   Cycle /*issued_at*/) {
   stats_.bypass_reads.inc();
+  if (view_.num_apps > 0) ++app_counters_[app_of(core)].bypass_reads;
   if (rec_ != nullptr && rec_->coherence_on()) {
     rec_->instant(obs::Recorder::kCoherenceTrack, "coherence", "bypass",
                   "\"core\":" + std::to_string(core));

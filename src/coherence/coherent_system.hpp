@@ -61,6 +61,9 @@ struct LlcMeta {
   bool dirty = false;
   CoreId owner = kInvalidCore;  ///< L1 holding the line in M, if any
   CoreMask sharers;             ///< L1s that fetched the line (may be stale)
+  /// App that installed the line (tdn::multi occupancy accounting); 0 when
+  /// no app view is attached.
+  std::uint8_t app = 0;
 };
 
 class CoherentSystem final : public nuca::CacheOps {
@@ -159,6 +162,47 @@ class CoherentSystem final : public nuca::CacheOps {
   unsigned num_cores() const noexcept { return num_cores_; }
   const HierarchyConfig& config() const noexcept { return cfg_; }
 
+  // --- multiprogram view (tdn::multi) ----------------------------------
+  /// Per-app LLC way quota inside every set; count == 0 means "all ways"
+  /// (bank/cluster partitioning only, no way partitioning).
+  struct WayRange {
+    unsigned first = 0;
+    unsigned count = 0;
+  };
+  /// Maps each core to the colocated app it belongs to and (optionally)
+  /// gives each app a CAT-style way quota. Attaching a view enables per-app
+  /// request/hit/miss/writeback counters, the LlcMeta app tag and per-bank
+  /// cross-app conflict counting. With no view attached (num_apps == 0,
+  /// the default) every path is bit-identical to the single-program system.
+  struct AppView {
+    std::vector<std::uint8_t> core_app;  ///< core id -> app index
+    unsigned num_apps = 0;
+    std::vector<WayRange> ways;  ///< per-app quota; may be empty
+  };
+  void set_app_view(AppView view);
+  bool app_view_active() const noexcept { return view_.num_apps > 0; }
+
+  struct AppCounters {
+    std::uint64_t llc_requests = 0;
+    std::uint64_t llc_hits = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t llc_writebacks = 0;
+    std::uint64_t bypass_reads = 0;
+  };
+  const AppCounters& app_counters(unsigned app) const {
+    return app_counters_.at(app);
+  }
+  /// Times a request found its bank busy servicing (or queued behind) a
+  /// request from a *different* app — the interference signal the colocation
+  /// benchmarks report per bank and in aggregate.
+  std::uint64_t bank_cross_app_conflicts(BankId bank) const {
+    return banks_.at(bank).cross_app_conflicts;
+  }
+  std::uint64_t cross_app_conflicts() const;
+  /// LLC lines currently resident that @p app installed (occupancy series).
+  std::uint64_t app_resident_lines(unsigned app) const;
+  std::uint64_t app_resident_lines(unsigned app, BankId bank) const;
+
  private:
   struct L1 {
     explicit L1(const HierarchyConfig& cfg)
@@ -172,6 +216,8 @@ class CoherentSystem final : public nuca::CacheOps {
     cache::CacheArray<LlcMeta> array;
     BankCounters counters;
     Cycle next_free = 0;
+    std::uint64_t cross_app_conflicts = 0;  ///< see bank_cross_app_conflicts
+    std::uint8_t last_app = 0xff;  ///< app of the last accepted request
     /// Blocking directory: blocked[line] holds actions to replay once the
     /// in-flight transaction on that line completes.
     std::unordered_map<Addr, std::deque<std::function<void()>>> blocked;
@@ -190,7 +236,7 @@ class CoherentSystem final : public nuca::CacheOps {
   void bank_respond_write(BankId bank, CoreId requester, Addr line);
   void bank_fetch_from_memory(BankId bank, CoreId requester, Addr line,
                               AccessKind kind);
-  void bank_install(BankId bank, Addr line);
+  void bank_install(BankId bank, CoreId requester, Addr line);
   void bank_unblock(BankId bank, Addr line);
   void bank_writeback(BankId bank, CoreId from, Addr line);
 
@@ -223,9 +269,18 @@ class CoherentSystem final : public nuca::CacheOps {
   obs::Recorder* rec_;
   const fault::HealthState* health_ = nullptr;
 
+  static constexpr std::uint8_t kNoApp = 0xff;
+  std::uint8_t app_of(CoreId core) const {
+    return view_.num_apps > 0 ? view_.core_app[core] : kNoApp;
+  }
+  /// Way quota of @p core's app ({0, 0} = whole set).
+  WayRange way_quota(CoreId core) const;
+
   std::vector<L1> l1s_;
   std::vector<Bank> banks_;
   Stats stats_;
+  AppView view_;
+  std::vector<AppCounters> app_counters_;
 };
 
 }  // namespace tdn::coherence

@@ -10,6 +10,7 @@
 #include "common/require.hpp"
 #include "harness/results_cache.hpp"
 #include "harness/sweep_runner.hpp"
+#include "multi/multi_system.hpp"
 
 namespace tdn::harness {
 
@@ -102,13 +103,14 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
 
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v4": derived-metric schema version; bump to invalidate cached results
+  // "v5": derived-metric schema version; bump to invalidate cached results
   // when the metric extraction changes (v3 added the per-bank llc.bankN.*
   // keys; v4 added the fault.* keys and folded the fault plan into the
-  // system fingerprint).
-  os << "v4/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // system fingerprint; v5 added multiprogram mixes — the appK.* /
+  // multi.* keys and the colocation options below).
+  os << "v5/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
-     << sys.fingerprint();
+     << multi.canonical() << '/' << sys.fingerprint();
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
 }
@@ -118,6 +120,10 @@ std::string RunConfig::describe() const {
   os << workload << '/' << system::to_string(policy)
      << " scale=" << params.scale << " compute=" << params.compute
      << " seed=" << params.seed;
+  // Plain string test — describe() also labels failed runs, so it must not
+  // itself throw on a bad mix spelling.
+  if (workload.find('+') != std::string::npos)
+    os << " multi=" << multi.canonical();
   if (!sys.fault.plan.empty()) os << " faults=\"" << sys.fault.plan << '"';
   return os.str();
 }
@@ -152,12 +158,9 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
   }
 
   obs::Recorder rec(cfg.obs.recorder_config());
-  system::TiledSystem sys(sys_cfg, obs_active ? &rec : nullptr);
-  auto wl = workloads::make_workload(cfg.workload, cfg.params);
-  wl->build(sys);
-  sys.run();
 
-  if (obs_active) {
+  auto emit_artifacts = [&] {
+    if (!obs_active) return;
     ObsArtifacts arts;
     arts.trace_events = rec.trace_events();
     arts.epoch_rows = rec.epoch_rows();
@@ -173,19 +176,40 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
     emit(cfg.obs.heatmaps_path, rec.heatmaps_text());
     emit(cfg.obs.heatmaps_json_path, rec.heatmaps_json());
     if (artifacts != nullptr) *artifacts = std::move(arts);
-  }
+  };
 
-  result.metrics = sys.collect_stats().all();
-  const auto& ws = wl->stats();
-  result.metrics["workload.input_bytes"] = static_cast<double>(ws.input_bytes);
-  result.metrics["workload.num_tasks"] = static_cast<double>(ws.num_tasks);
-  result.metrics["workload.avg_task_bytes"] =
-      static_cast<double>(ws.avg_task_bytes);
-  result.metrics["workload.num_phases"] = static_cast<double>(ws.num_phases);
-  result.metrics["workload.total_blocks"] =
-      static_cast<double>(ws.input_bytes / 64);
-  add_fig3_tdnuca(sys, result.metrics);
-  add_fig3_rnuca(sys, result.metrics);
+  // Multiprogram mixes assemble a shared-substrate machine with per-app
+  // runtimes; single names build the classic one-app TiledSystem. Cache
+  // lookup/store and obs artifact plumbing are shared by both paths.
+  const multi::MixSpec mix = multi::MixSpec::parse(cfg.workload);
+  if (mix.is_multi()) {
+    multi::MultiProgramSystem msys(sys_cfg, mix, cfg.multi,
+                                   obs_active ? &rec : nullptr);
+    msys.build(cfg.params);
+    msys.run();
+    emit_artifacts();
+    result.metrics = msys.collect_stats().all();
+  } else {
+    system::TiledSystem sys(sys_cfg, obs_active ? &rec : nullptr);
+    auto wl = workloads::make_workload(cfg.workload, cfg.params);
+    wl->build(sys);
+    sys.run();
+    emit_artifacts();
+
+    result.metrics = sys.collect_stats().all();
+    const auto& ws = wl->stats();
+    result.metrics["workload.input_bytes"] =
+        static_cast<double>(ws.input_bytes);
+    result.metrics["workload.num_tasks"] = static_cast<double>(ws.num_tasks);
+    result.metrics["workload.avg_task_bytes"] =
+        static_cast<double>(ws.avg_task_bytes);
+    result.metrics["workload.num_phases"] =
+        static_cast<double>(ws.num_phases);
+    result.metrics["workload.total_blocks"] =
+        static_cast<double>(ws.input_bytes / 64);
+    add_fig3_tdnuca(sys, result.metrics);
+    add_fig3_rnuca(sys, result.metrics);
+  }
 
   if (use_cache) ResultsCache::store(key, result.metrics);
   return result;

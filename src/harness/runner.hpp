@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "multi/mix.hpp"
 #include "obs/recorder.hpp"
 #include "system/tiled_system.hpp"
 #include "workloads/workload.hpp"
@@ -47,10 +48,14 @@ struct ObsArtifacts {
 };
 
 struct RunConfig {
+  /// A workload name, or a '+'-joined mix ("gauss+histo"): mixes run on a
+  /// multi::MultiProgramSystem and report per-app appK.* metrics alongside
+  /// the shared-machine totals.
   std::string workload;
   system::PolicyKind policy = system::PolicyKind::SNuca;
   workloads::WorkloadParams params{};
   system::SystemConfig sys{};  ///< policy field is overridden by `policy`
+  multi::MultiOptions multi{}; ///< colocation knobs; ignored for single apps
   ObsOptions obs{};            ///< not fingerprinted; see ObsOptions
 
   std::uint64_t fingerprint() const;

@@ -1,0 +1,56 @@
+// AppRouter — the one MappingPolicy a multiprogram CoherentSystem sees.
+//
+// The coherent hierarchy consults a single policy object; in a mix, each app
+// brings its own (with its own RRTs, page classifications and partition
+// masks). The router dispatches every map()/on_access() to the policy of the
+// app that owns the address — cheap and unambiguous, because colocated apps
+// live kAppStride apart in virtual memory (mix.hpp). Writebacks never reach
+// the router: the L1 remembers each line's home bank (L1Meta::home).
+#pragma once
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "multi/mix.hpp"
+#include "nuca/mapping.hpp"
+
+namespace tdn::multi {
+
+class AppRouter final : public nuca::MappingPolicy {
+ public:
+  /// @p apps in app-index order; the router does not own them.
+  explicit AppRouter(std::vector<nuca::MappingPolicy*> apps)
+      : apps_(std::move(apps)) {
+    TDN_REQUIRE(!apps_.empty(), "router needs at least one app policy");
+  }
+
+  const char* name() const override { return "multi-router"; }
+
+  nuca::MapDecision map(CoreId core, Addr vaddr, Addr paddr,
+                        AccessKind kind) override {
+    return app_policy(vaddr).map(core, vaddr, paddr, kind);
+  }
+
+  Cycle on_access(CoreId core, Addr vaddr, AccessKind kind) override {
+    return app_policy(vaddr).on_access(core, vaddr, kind);
+  }
+
+  /// The system builder injects CacheOps once, into the router; every app
+  /// policy needs it too (R-NUCA reclassification / TD-NUCA flushes).
+  void set_ops(nuca::CacheOps* ops) override {
+    nuca::MappingPolicy::set_ops(ops);
+    for (nuca::MappingPolicy* p : apps_) p->set_ops(ops);
+  }
+
+ private:
+  nuca::MappingPolicy& app_policy(Addr vaddr) {
+    const unsigned a = app_of_vaddr(vaddr);
+    TDN_REQUIRE(a < apps_.size(),
+                "address belongs to no colocated app's address space");
+    return *apps_[a];
+  }
+
+  std::vector<nuca::MappingPolicy*> apps_;
+};
+
+}  // namespace tdn::multi

@@ -1,0 +1,56 @@
+#include "multi/mix.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+#include "workloads/workload.hpp"
+
+namespace tdn::multi {
+
+const char* to_string(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::Partitioned: return "partitioned";
+    case PartitionMode::Shared: return "shared";
+  }
+  return "?";
+}
+
+std::string MultiOptions::canonical() const {
+  std::ostringstream os;
+  os << (mode == PartitionMode::Partitioned ? "part" : "shared") << "/w"
+     << ways_per_app << "/ovl" << (overlap_cores ? 1 : 0);
+  return os.str();
+}
+
+MixSpec MixSpec::parse(std::string_view text) {
+  MixSpec mix;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t plus = text.find('+', start);
+    const std::string_view part =
+        text.substr(start, plus == std::string_view::npos ? std::string_view::npos
+                                                          : plus - start);
+    TDN_REQUIRE(!part.empty(), "empty component in mix: '" +
+                                   std::string(text) + "'");
+    TDN_REQUIRE(workloads::is_valid_workload(part),
+                "unknown workload '" + std::string(part) + "' in mix '" +
+                    std::string(text) +
+                    "' (valid: " + workloads::valid_workload_names() + ")");
+    mix.apps.emplace_back(part);
+    if (plus == std::string_view::npos) break;
+    start = plus + 1;
+  }
+  TDN_REQUIRE(!mix.apps.empty(), "empty mix");
+  return mix;
+}
+
+std::string MixSpec::joined() const {
+  std::string s;
+  for (const std::string& a : apps) {
+    if (!s.empty()) s += '+';
+    s += a;
+  }
+  return s;
+}
+
+}  // namespace tdn::multi

@@ -1,0 +1,72 @@
+// tdn::multi — multiprogram colocation on one shared NUCA substrate.
+//
+// A mix describes N independent task-dataflow applications co-scheduled on
+// disjoint (or overlapping) core partitions of a single TiledSystem-class
+// machine: one event queue, one NoC, one banked LLC and one DRAM subsystem,
+// N runtimes. Mixes are spelled as '+'-joined workload names ("gauss+histo")
+// so they flow through the existing RunConfig / results-cache plumbing as
+// ordinary workload strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tdn::multi {
+
+/// Virtual-address stride between colocated apps: app k's VirtualSpace
+/// starts at k * kAppStride + mem::kHeapBase, so app streams can never
+/// alias and the owning app of any address is just its top bits.
+inline constexpr Addr kAppStride = Addr{1} << 40;  // 1 TiB
+
+inline unsigned app_of_vaddr(Addr vaddr) noexcept {
+  return static_cast<unsigned>(vaddr / kAppStride);
+}
+
+enum class PartitionMode : std::uint8_t {
+  /// Each app's NUCA policy is confined to its own bank rows (and, for
+  /// TD-NUCA, its replication clusters are clipped to them); optionally a
+  /// CAT-style way quota is stacked on top.
+  Partitioned,
+  /// Free-for-all: every app's policy maps across the whole LLC and apps
+  /// contend for capacity — the ablation baseline.
+  Shared,
+};
+
+const char* to_string(PartitionMode m);
+
+/// Colocation knobs. Fingerprinted via canonical(): two runs with different
+/// options never share a results-cache entry.
+struct MultiOptions {
+  PartitionMode mode = PartitionMode::Partitioned;
+  /// Per-app LLC way quota inside every set (Partitioned mode only);
+  /// 0 disables way partitioning. num_apps * ways_per_app must fit the
+  /// LLC associativity.
+  unsigned ways_per_app = 0;
+  /// All apps schedule on all cores and contend for them task-by-task
+  /// instead of owning disjoint partitions. Per-app LLC counters are then
+  /// attributed by each core's round-robin home app (a documented
+  /// approximation; the per-app makespans remain exact).
+  bool overlap_cores = false;
+
+  std::string canonical() const;  ///< e.g. "part/w4/ovl0", for fingerprints
+};
+
+/// A parsed '+'-joined mix. Single names parse to a one-app spec, which
+/// run_experiment treats as an ordinary single-program run.
+struct MixSpec {
+  std::vector<std::string> apps;
+
+  /// Parse "gauss+histo+jacobi". Every component must be a valid workload
+  /// name (make_workload's set); unknown names fail loudly listing the
+  /// valid ones.
+  static MixSpec parse(std::string_view text);
+
+  bool is_multi() const noexcept { return apps.size() > 1; }
+  std::string joined() const;  ///< canonical '+'-joined form
+};
+
+}  // namespace tdn::multi

@@ -1,0 +1,143 @@
+// MultiProgramSystem — N independent task-dataflow applications colocated on
+// one shared machine substrate (DESIGN.md Sec. 3, docs/multiprog.md).
+//
+// Shared between apps: the event queue, mesh/NoC, memory controllers, page
+// table and the banked coherent LLC. Per app: a workload, an offset virtual
+// address space (mix.hpp's kAppStride keeps streams alias-free), a NUCA
+// mapping policy instance (own RRTs / page classifications), a scheduler and
+// a RuntimeSystem over that app's core partition. An AppRouter presents the
+// per-app policies to the hierarchy as one; the CoherentSystem's AppView
+// provides per-app LLC counters, optional way quotas and inter-app
+// bank-conflict accounting.
+//
+// Determinism: one single-threaded event loop drives all apps, per-app PRNG
+// seeds derive from the app index alone, so mixes are bit-identical across
+// repeated runs and SweepRunner job counts — and cacheable like any run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/coherent_system.hpp"
+#include "core/sim_core.hpp"
+#include "fault/injector.hpp"
+#include "mem/address_space.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "multi/app_router.hpp"
+#include "multi/mix.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "nuca/rnuca.hpp"
+#include "nuca/snuca.hpp"
+#include "nuca/tdnuca_policy.hpp"
+#include "runtime/runtime_system.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/registry.hpp"
+#include "system/config.hpp"
+#include "tdnuca/runtime_hooks.hpp"
+#include "workloads/workload.hpp"
+
+namespace tdn::obs {
+class Recorder;
+}
+
+namespace tdn::multi {
+
+class MultiProgramSystem {
+ public:
+  /// Builds the machine and the per-app runtimes; call build() to create
+  /// the task graphs and run() to execute them. @p cfg.policy selects the
+  /// NUCA policy *every* app runs (the colocation benchmarks compare
+  /// policies, not mixed-policy systems); TdNucaDryRun is not supported.
+  /// @p rec (optional) observes only, as in TiledSystem.
+  MultiProgramSystem(system::SystemConfig cfg, MixSpec mix,
+                     MultiOptions opts = {}, obs::Recorder* rec = nullptr);
+  ~MultiProgramSystem();
+  MultiProgramSystem(const MultiProgramSystem&) = delete;
+  MultiProgramSystem& operator=(const MultiProgramSystem&) = delete;
+
+  /// Instantiate every app's workload into its own runtime and offset
+  /// address space. Per-app seeds are derived from @p params.seed and the
+  /// app index, so two copies of the same workload never run in lockstep.
+  void build(const workloads::WorkloadParams& params);
+
+  /// Run all apps to completion; returns the mix makespan (the cycle the
+  /// last app finished). @p cycle_limit guards tests against deadlock.
+  Cycle run(Cycle cycle_limit = kNeverCycle);
+  bool completed() const noexcept { return completed_; }
+
+  // --- introspection ----------------------------------------------------
+  unsigned num_apps() const noexcept {
+    return static_cast<unsigned>(apps_.size());
+  }
+  const std::string& app_name(unsigned a) const {
+    return apps_.at(a)->workload_name;
+  }
+  mem::VirtualSpace& app_vspace(unsigned a) { return apps_.at(a)->vspace; }
+  runtime::RuntimeSystem& app_runtime(unsigned a) { return *apps_.at(a)->rt; }
+  const CoreMask& app_cores(unsigned a) const { return apps_.at(a)->cores; }
+  const BankMask& app_banks(unsigned a) const { return apps_.at(a)->banks; }
+  /// The app's completion cycle (its slowdown numerator in WS/ANTT).
+  Cycle app_makespan(unsigned a) const { return apps_.at(a)->rt->makespan(); }
+  const workloads::WorkloadStats& app_workload_stats(unsigned a) const {
+    return apps_.at(a)->workload->stats();
+  }
+  nuca::TdNucaPolicy* app_tdnuca_policy(unsigned a) {
+    return apps_.at(a)->tdnuca.get();
+  }
+
+  sim::EventQueue& events() noexcept { return eq_; }
+  coherence::CoherentSystem& caches() noexcept { return *caches_; }
+  const system::SystemConfig& config() const noexcept { return cfg_; }
+  const MultiOptions& options() const noexcept { return opts_; }
+  fault::FaultInjector* fault_injector() noexcept { return injector_.get(); }
+
+  /// Global keys mirror TiledSystem::collect_stats; per-app metrics are
+  /// namespaced appK.* (appK.sim.cycles, appK.llc.requests, ...), and the
+  /// colocation aggregates live under multi.* — see docs/multiprog.md.
+  stats::Registry collect_stats() const;
+
+ private:
+  struct App {
+    explicit App(Addr vspace_base) : vspace(vspace_base) {}
+    std::string workload_name;
+    mem::VirtualSpace vspace;
+    CoreMask cores;
+    BankMask banks;  ///< empty in Shared mode (whole LLC)
+    std::unique_ptr<nuca::SNucaPolicy> snuca;
+    std::unique_ptr<nuca::RNucaPolicy> rnuca;
+    std::unique_ptr<nuca::TdNucaPolicy> tdnuca;
+    nuca::MappingPolicy* policy = nullptr;
+    std::unique_ptr<runtime::Scheduler> scheduler;
+    std::unique_ptr<runtime::RuntimeHooks> hooks_base;
+    std::unique_ptr<tdnuca::TdNucaRuntimeHooks> hooks_td;
+    std::unique_ptr<runtime::RuntimeSystem> rt;
+    std::unique_ptr<workloads::Workload> workload;
+    bool done = false;
+  };
+
+  void register_observability();
+
+  system::SystemConfig cfg_;
+  MultiOptions opts_;
+  obs::Recorder* rec_ = nullptr;
+
+  sim::EventQueue eq_;
+  noc::Mesh mesh_;
+  mem::PageTable page_table_;
+  std::unique_ptr<noc::Network> net_;
+  std::unique_ptr<mem::MemControllers> mcs_;
+  std::vector<std::unique_ptr<App>> apps_;
+  std::unique_ptr<AppRouter> router_;
+  std::unique_ptr<coherence::CoherentSystem> caches_;
+  std::vector<std::unique_ptr<core::SimCore>> cores_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+
+  bool built_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace tdn::multi

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "common/tile_mask.hpp"
 #include "common/types.hpp"
@@ -78,18 +79,53 @@ class MappingPolicy {
   /// default — keeps every decision on the original, fault-free path.
   void set_health(const fault::HealthState* health) { health_ = health; }
 
+  /// Restrict this policy instance to a machine partition (tdn::multi
+  /// colocation): @p banks are the LLC banks it may map to, @p cores the
+  /// cores whose private caches its relocation flushes may target. Empty
+  /// masks — the default — mean "the whole machine" and keep every decision
+  /// bit-identical to an unpartitioned policy.
+  void set_partition(BankMask banks, CoreMask cores) {
+    partition_ = banks;
+    partition_cores_ = cores;
+    part_banks_.clear();
+    banks.for_each([this](CoreId b) { part_banks_.push_back(b); });
+  }
+  const BankMask& bank_partition() const noexcept { return partition_; }
+  const CoreMask& core_partition() const noexcept { return partition_cores_; }
+
  protected:
+  /// Static-interleave fallback home for @p paddr: over the partition's
+  /// banks when one is set, else over all @p num_banks (== snuca_bank).
+  BankId interleave_bank(Addr paddr, unsigned num_banks,
+                         unsigned line_size = 64) const {
+    if (part_banks_.empty())
+      return static_cast<BankId>((paddr / line_size) % num_banks);
+    return part_banks_[(paddr / line_size) % part_banks_.size()];
+  }
+
   /// Degraded-mode guard for a bank choice: identity while the bank is
   /// healthy (or no HealthState is attached); S-NUCA re-interleaving over
-  /// the healthy set once it has failed.
+  /// the healthy set once it has failed. Under a partition the re-interleave
+  /// stays inside the partition's surviving banks, so one app's dead bank
+  /// never spills its traffic into a co-runner's banks; only a fully-dead
+  /// partition overflows to the global healthy set.
   BankId degrade(BankId bank, Addr paddr) const {
-    if (health_ != nullptr && !health_->bank_ok(bank))
-      return health_->remap_bank(paddr);
-    return bank;
+    if (health_ == nullptr || health_->bank_ok(bank)) return bank;
+    if (!partition_.empty()) {
+      const BankMask ok = partition_ & health_->healthy_banks();
+      if (!ok.empty())
+        return ok.nth_bit(static_cast<int>((paddr / 64) % ok.count()));
+    }
+    return health_->remap_bank(paddr);
   }
 
   CacheOps* ops_ = nullptr;
   const fault::HealthState* health_ = nullptr;
+
+ private:
+  BankMask partition_;
+  CoreMask partition_cores_;
+  std::vector<BankId> part_banks_;
 };
 
 }  // namespace tdn::nuca

@@ -36,10 +36,14 @@ Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
       }
       // Second core touches the page: reclassify. The previous owner's
       // cached copies (its L1 and its local LLC bank) are flushed and its
-      // TLB entry is invalidated (paper Sec. II-C).
+      // TLB entry is invalidated (paper Sec. II-C). Under a partition a
+      // foreign-tile owner's lines live interleaved across the partition
+      // banks instead of on its own tile.
       reclassifications_.inc();
       flush_page(vpage, CoreMask::single(ps.owner),
-                 BankMask::single(ps.owner));
+                 bank_partition().empty() || bank_partition().test(ps.owner)
+                     ? BankMask::single(ps.owner)
+                     : bank_partition());
       if (ps.owner < tlbs_.size() && tlbs_[ps.owner] != nullptr)
         tlbs_[ps.owner]->invalidate_page(vaddr);
       ps.cls = (ps.written || is_write(kind)) ? PageClass::Shared
@@ -54,8 +58,13 @@ Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
       reclassifications_.inc();
       ps.cls = PageClass::Shared;
       ps.written = true;
-      flush_page(vpage, CoreMask::first_n(num_banks_),
-                 BankMask::first_n(num_banks_));
+      // Replicas can only live on this policy's cores/banks: restrict the
+      // all-caches flush to the partition when one is set.
+      flush_page(vpage,
+                 core_partition().empty() ? CoreMask::first_n(num_banks_)
+                                          : core_partition(),
+                 bank_partition().empty() ? BankMask::first_n(num_banks_)
+                                          : bank_partition());
       for (auto* tlb : tlbs_)
         if (tlb != nullptr) tlb->invalidate_page(vaddr);
       return cfg_.reclassification_penalty;
@@ -72,17 +81,38 @@ MapDecision RNucaPolicy::map(CoreId core, Addr vaddr, Addr paddr,
   // on_access always runs first on the demand path, but writebacks can
   // outlive the map state; fall back to interleaving for unknown pages.
   if (it == pages_.end())
-    return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
+    return MapDecision::to_bank(
+        degrade(interleave_bank(paddr, num_banks_), paddr));
   switch (it->second.cls) {
-    case PageClass::Private:
-      return MapDecision::to_bank(degrade(it->second.owner, paddr));
-    case PageClass::SharedRO:
-      return MapDecision::to_bank(degrade(
-          clusters_.bank_for(clusters_.cluster_of(core), paddr), paddr));
+    case PageClass::Private: {
+      const CoreId owner = it->second.owner;
+      // A foreign-tile owner (overlapping-core colocation) has no bank of
+      // its own inside the partition; its pages interleave instead.
+      if (!bank_partition().empty() && !bank_partition().test(owner))
+        return MapDecision::to_bank(
+            degrade(interleave_bank(paddr, num_banks_), paddr));
+      return MapDecision::to_bank(degrade(owner, paddr));
+    }
+    case PageClass::SharedRO: {
+      if (bank_partition().empty())
+        return MapDecision::to_bank(degrade(
+            clusters_.bank_for(clusters_.cluster_of(core), paddr), paddr));
+      // Rotational interleave over the quadrant's in-partition banks; a
+      // quadrant fully outside the partition falls back to interleaving.
+      const BankMask m =
+          clusters_.mask_of(clusters_.cluster_of(core)) & bank_partition();
+      if (m.empty())
+        return MapDecision::to_bank(
+            degrade(interleave_bank(paddr, num_banks_), paddr));
+      return MapDecision::to_bank(
+          degrade(tdnuca::ClusterMap::bank_for_mask(m, paddr), paddr));
+    }
     case PageClass::Shared:
-      return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
+      return MapDecision::to_bank(
+          degrade(interleave_bank(paddr, num_banks_), paddr));
   }
-  return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr));
+  return MapDecision::to_bank(
+      degrade(interleave_bank(paddr, num_banks_), paddr));
 }
 
 RNucaPolicy::Census RNucaPolicy::census() const {

@@ -26,7 +26,7 @@ class SNucaPolicy final : public MappingPolicy {
   MapDecision map(CoreId /*core*/, Addr /*vaddr*/, Addr paddr,
                   AccessKind /*kind*/) override {
     return MapDecision::to_bank(
-        degrade(snuca_bank(paddr, num_banks_, line_size_), paddr));
+        degrade(interleave_bank(paddr, num_banks_, line_size_), paddr));
   }
 
  private:

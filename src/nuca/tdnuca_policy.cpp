@@ -20,8 +20,8 @@ MapDecision TdNucaPolicy::map(CoreId core, Addr /*vaddr*/, Addr paddr,
   const Cycle lat = cfg_.rrt_latency;
   if (!entry) {
     rrt_misses_.inc();
-    return MapDecision::to_bank(degrade(snuca_bank(paddr, num_banks_), paddr),
-                                lat);
+    return MapDecision::to_bank(
+        degrade(interleave_bank(paddr, num_banks_), paddr), lat);
   }
   rrt_hits_.inc();
   BankMask mask = entry->mask;
@@ -32,13 +32,26 @@ MapDecision TdNucaPolicy::map(CoreId core, Addr /*vaddr*/, Addr paddr,
     mask = mask & health_->healthy_banks();
     if (mask.empty())
       return MapDecision::to_bank(
-          degrade(snuca_bank(paddr, num_banks_), paddr), lat);
+          degrade(interleave_bank(paddr, num_banks_), paddr), lat);
   }
   const int bits = mask.count();
   if (bits == 0) return MapDecision::bypass(lat);
   if (bits == 1) return MapDecision::to_bank(mask.sole_bit(), lat);
   return MapDecision::to_bank(tdnuca::ClusterMap::bank_for_mask(mask, paddr),
                               lat);
+}
+
+BankMask TdNucaPolicy::replication_mask(CoreId core) const {
+  const BankMask cl = clusters_.mask_of(clusters_.cluster_of(core));
+  if (bank_partition().empty()) return cl;
+  const BankMask m = cl & bank_partition();
+  return m.empty() ? bank_partition() : m;
+}
+
+BankId TdNucaPolicy::local_bank(CoreId core) const {
+  const BankMask part = bank_partition();
+  if (part.empty() || part.test(core)) return core;
+  return part.nth_bit(static_cast<int>(core % part.count()));
 }
 
 unsigned TdNucaPolicy::max_rrt_occupancy() const {

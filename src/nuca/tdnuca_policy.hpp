@@ -50,6 +50,16 @@ class TdNucaPolicy final : public MappingPolicy {
   const tdnuca::ClusterMap& clusters() const noexcept { return clusters_; }
   nuca::CacheOps* ops() const noexcept { return ops_; }
 
+  /// Cluster-replication mask for @p core under the current partition: the
+  /// core's quadrant restricted to this app's banks, or the whole partition
+  /// when the quadrant lies entirely outside it. Identical to the plain
+  /// quadrant mask without a partition.
+  BankMask replication_mask(CoreId core) const;
+  /// Local-bank placement target for @p core: its own tile's bank, or — for
+  /// a core whose tile is outside the partition (overlapping-core
+  /// colocation) — a partition bank picked by core-id rotation.
+  BankId local_bank(CoreId core) const;
+
   std::uint64_t rrt_hits() const noexcept { return rrt_hits_.value(); }
   std::uint64_t rrt_misses() const noexcept { return rrt_misses_.value(); }
   /// Mean RRT occupancy, sampled once per map() call (a dense, unbiased

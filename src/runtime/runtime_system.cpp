@@ -16,9 +16,18 @@ RuntimeSystem::RuntimeSystem(sim::EventQueue& eq,
       cfg_(cfg), rec_(rec), jitter_(cfg.jitter_seed) {
   TDN_REQUIRE(!cores_.empty(), "runtime needs at least one core");
   for (std::size_t i = 0; i < cores_.size(); ++i) {
-    TDN_REQUIRE(cores_[i] != nullptr && cores_[i]->id() == i,
-                "cores must be passed in id order");
+    TDN_REQUIRE(cores_[i] != nullptr, "null core");
+    TDN_REQUIRE(i == 0 || cores_[i]->id() > cores_[i - 1]->id(),
+                "cores must be passed in strictly increasing id order");
   }
+}
+
+core::SimCore& RuntimeSystem::core_by_id(CoreId id) {
+  for (core::SimCore* c : cores_) {
+    if (c->id() == id) return *c;
+  }
+  TDN_REQUIRE(false, "task ran on a core this runtime does not own");
+  return *cores_.front();
 }
 
 DepId RuntimeSystem::region(AddrRange vrange, std::string name) {
@@ -87,6 +96,11 @@ void RuntimeSystem::run(std::function<void()> on_complete) {
   dispatch_idle_cores();
 }
 
+void RuntimeSystem::kick() {
+  if (!running_ || completed_ == tasks_.size()) return;
+  dispatch_idle_cores();
+}
+
 void RuntimeSystem::open_phase(std::size_t p) {
   TDN_ASSERT(p < phases_.size());
   open_phase_ = p;
@@ -152,7 +166,7 @@ void RuntimeSystem::start_on_core(Task& t, core::SimCore& core) {
 
 void RuntimeSystem::complete_task(Task& t) {
   TDN_ASSERT(t.state == TaskState::Running);
-  cores_[t.ran_on]->release();
+  core_by_id(t.ran_on).release();
   t.state = TaskState::Done;
   t.finished_at = eq_.now();
   if (rec_ != nullptr && rec_->trace_on()) {
@@ -182,9 +196,12 @@ void RuntimeSystem::complete_task(Task& t) {
   if (completed_ == tasks_.size()) {
     auto done = std::move(on_complete_);
     if (done) done();
+    // on_complete (a multiprogram orchestrator, say) kicks co-runners; the
+    // per-task hook below is for the steady state, not the final drain.
     return;
   }
   dispatch_idle_cores();
+  if (on_task_complete_) on_task_complete_();
 }
 
 }  // namespace tdn::runtime

@@ -52,7 +52,11 @@ struct RuntimeConfig {
 
 class RuntimeSystem {
  public:
-  /// @p rec (optional) receives one trace span per executed task plus
+  /// @p cores is the set this runtime may schedule on, in strictly
+  /// increasing id order. It need not be contiguous or start at id 0: a
+  /// multiprogram system (tdn::multi) gives each app's runtime a partition
+  /// of the machine's cores. Task::ran_on always records the *global* core
+  /// id. @p rec (optional) receives one trace span per executed task plus
   /// phase-transition instants; it observes only and never alters timing.
   RuntimeSystem(sim::EventQueue& eq, std::vector<core::SimCore*> cores,
                 Scheduler& sched, RuntimeHooks& hooks, RuntimeConfig cfg = {},
@@ -88,6 +92,19 @@ class RuntimeSystem {
   /// Drive the event queue (eq.run()) after calling this.
   void run(std::function<void()> on_complete);
 
+  /// Re-examine idle cores and dispatch ready tasks onto them. A no-op
+  /// before run() or after the graph drains. Needed when core occupancy can
+  /// change without this runtime observing it — e.g. a co-scheduled runtime
+  /// sharing (a subset of) our cores released one (tdn::multi overlap mode).
+  void kick();
+
+  /// Invoked after every task completion, *after* this runtime has
+  /// re-dispatched its own idle cores — co-scheduled runtimes hook this to
+  /// contend for the freed core. Observes only; must not create tasks.
+  void set_on_task_complete(std::function<void()> cb) {
+    on_task_complete_ = std::move(cb);
+  }
+
   // --- introspection ----------------------------------------------------
   const std::vector<Task>& tasks() const noexcept { return tasks_; }
   Task& task(TaskId id) { return tasks_.at(id); }
@@ -104,6 +121,7 @@ class RuntimeSystem {
   void start_on_core(Task& t, core::SimCore& core);
   void complete_task(Task& t);
   void open_phase(std::size_t p);
+  core::SimCore& core_by_id(CoreId id);
 
   sim::EventQueue& eq_;
   std::vector<core::SimCore*> cores_;
@@ -130,6 +148,7 @@ class RuntimeSystem {
   Cycle makespan_ = 0;
   SplitMix64 jitter_{0};
   std::function<void()> on_complete_;
+  std::function<void()> on_task_complete_;
 };
 
 }  // namespace tdn::runtime

@@ -8,16 +8,23 @@ namespace tdn::runtime {
 
 Task* AffinityScheduler::dequeue(CoreId core) {
   if (queue_.empty()) return nullptr;
-  TDN_REQUIRE(tasks_ != nullptr, "AffinityScheduler: set_tasks() not called");
+  TDN_REQUIRE(tasks_ != nullptr,
+              "AffinityScheduler: set_tasks() not called before the first "
+              "dispatch — wire the runtime's task table during assembly");
   // Scan a bounded window for a task with a predecessor that ran on this
-  // core; bounding the window keeps the scheduler O(1)-ish and avoids
-  // starving old tasks.
-  const std::size_t window = std::min<std::size_t>(queue_.size(), 8);
+  // core; see kAffinityWindow.
+  const std::size_t window = std::min(queue_.size(), kAffinityWindow);
   for (std::size_t i = 0; i < window; ++i) {
     Task* t = queue_[i];
     const bool affine =
         std::any_of(t->predecessors.begin(), t->predecessors.end(),
-                    [&](TaskId pid) { return (*tasks_)[pid].ran_on == core; });
+                    [&](TaskId pid) {
+                      TDN_REQUIRE(pid < tasks_->size(),
+                                  "AffinityScheduler: predecessor id out of "
+                                  "range — scheduler wired to the wrong "
+                                  "runtime's task table");
+                      return (*tasks_)[pid].ran_on == core;
+                    });
     if (affine) {
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
       return t;

@@ -48,8 +48,18 @@ class FifoScheduler final : public Scheduler {
 /// locality heuristic); falls back to FIFO. Used by the scheduler ablation.
 class AffinityScheduler final : public Scheduler {
  public:
+  /// Upper bound on the dequeue affinity scan: at most this many queued
+  /// tasks are inspected before falling back to FIFO, keeping dequeue
+  /// O(1)-ish and old tasks from starving.
+  static constexpr std::size_t kAffinityWindow = 8;
+
   /// The task table lives in the RuntimeSystem, which is constructed after
-  /// the scheduler; wire it before the first dispatch.
+  /// the scheduler; wire it before the first dispatch. This is a checked
+  /// invariant: dequeue REQUIREs a non-null table, and every predecessor id
+  /// it reads must be in range for *this* table — so wiring a scheduler to
+  /// the wrong runtime's table (easy to do once several runtimes coexist in
+  /// one process, see tdn::multi) fails loudly instead of scheduling on
+  /// another app's placement history.
   void set_tasks(const std::vector<Task>* tasks) { tasks_ = tasks; }
 
   const char* name() const override { return "affinity"; }

@@ -162,11 +162,11 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
     // dead local bank and replication into a fully-dead cluster both fall
     // back to S-NUCA interleaving over the healthy set.
     if (health_ != nullptr && health_->any_bank_failed()) {
-      if (p == Placement::LocalBank && !health_->bank_ok(cid)) {
+      if (p == Placement::LocalBank &&
+          !health_->bank_ok(policy_.local_bank(cid))) {
         p = Placement::Unmapped;
       } else if (p == Placement::Replicated) {
-        const unsigned cl = policy_.clusters().cluster_of(cid);
-        if ((policy_.clusters().mask_of(cl) & health_->healthy_banks())
+        if ((policy_.replication_mask(cid) & health_->healthy_banks())
                 .empty())
           p = Placement::Unmapped;
       }
@@ -186,10 +186,14 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
              dep_args(a.dep, tr));
       charge("tdnuca_flush", isa_flush_issue_cost(cfg_.isa, 0),
              dep_args(a.dep, tr));
-      const CoreMask all_cores = CoreMask::first_n(num_tiles_);
+      // Replicas and RRT entries can only exist on this policy's cores
+      // (the whole machine unless partitioned for colocation).
+      const CoreMask all_cores = policy_.core_partition().empty()
+                                     ? CoreMask::first_n(num_tiles_)
+                                     : policy_.core_partition();
       for (const AddrRange& piece : tr.pieces) {
-        for (unsigned c = 0; c < num_tiles_; ++c)
-          policy_.rrt(c).invalidate_range(piece);
+        all_cores.for_each(
+            [&](CoreId c) { policy_.rrt(c).invalidate_range(piece); });
         join->add();
         ops->flush_llc_range(re.map_mask, piece, [join] { join->complete(); });
         join->add();
@@ -253,7 +257,7 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
       }
       case Placement::LocalBank: {
         n_local_.inc();
-        pd.mask = BankMask::single(cid);
+        pd.mask = BankMask::single(policy_.local_bank(cid));
         if (!cfg_.dry_run) {
           Translated tr = translate_dep(d.vrange, core);
           charge("tdnuca_register",
@@ -272,8 +276,7 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
       }
       case Placement::Replicated: {
         n_replicated_.inc();
-        const unsigned cluster = policy_.clusters().cluster_of(cid);
-        pd.mask = policy_.clusters().mask_of(cluster);
+        pd.mask = policy_.replication_mask(cid);
         // Replicate only over the cluster's surviving banks (the guard
         // above ensures at least one remains).
         if (health_ != nullptr && health_->any_bank_failed())

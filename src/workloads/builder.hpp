@@ -6,17 +6,18 @@
 #include <vector>
 
 #include "core/access_stream.hpp"
+#include "mem/address_space.hpp"
 #include "runtime/runtime_system.hpp"
-#include "system/tiled_system.hpp"
+#include "workloads/workload.hpp"
 
 namespace tdn::workloads {
 
 class Builder {
  public:
-  explicit Builder(system::TiledSystem& sys, Cycle compute)
-      : sys_(sys), compute_(compute) {}
+  explicit Builder(BuildContext ctx, Cycle compute)
+      : ctx_(ctx), compute_(compute) {}
 
-  runtime::RuntimeSystem& rt() { return sys_.runtime(); }
+  runtime::RuntimeSystem& rt() { return ctx_.rt; }
 
   /// Allocate a named, line-aligned region and register it as a dependency.
   struct Region {
@@ -24,14 +25,14 @@ class Builder {
     AddrRange range;
   };
   Region alloc(Addr bytes, const std::string& name) {
-    const AddrRange r = sys_.vspace().allocate(bytes, 64, name);
+    const AddrRange r = ctx_.vspace.allocate(bytes, 64, name);
     return Region{rt().region(r, name), r};
   }
   /// Allocate a region that is *not* declared as a dependency (runtime
   /// metadata, lookup tables) — under TD-NUCA such data is untracked and
   /// falls back to S-NUCA interleaving.
   AddrRange alloc_untracked(Addr bytes, const std::string& name) {
-    return sys_.vspace().allocate(bytes, 64, name);
+    return ctx_.vspace.allocate(bytes, 64, name);
   }
 
   // --- access-program phrases -----------------------------------------
@@ -73,7 +74,7 @@ class Builder {
   }
 
  private:
-  system::TiledSystem& sys_;
+  BuildContext ctx_;
   Cycle compute_;
 };
 

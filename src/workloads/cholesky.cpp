@@ -22,8 +22,8 @@ class CholeskyWorkload final : public Workload {
   explicit CholeskyWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "cholesky"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
     auto& rt = b.rt();
 
     const unsigned T = 10;
@@ -95,7 +95,7 @@ class CholeskyWorkload final : public Workload {
       }
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

@@ -28,8 +28,8 @@ class GaussWorkload final : public Workload {
   explicit GaussWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "gauss"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
     auto& rt = b.rt();
 
     // ~13.5 MiB matrix (3.4x the scaled LLC; the paper's is ~15x its LLC)
@@ -108,7 +108,7 @@ class GaussWorkload final : public Workload {
       if (it + 1 < iters) rt.taskwait();
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = iters;

@@ -27,8 +27,8 @@ class HistoWorkload final : public Workload {
   explicit HistoWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "histo"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
     auto& rt = b.rt();
 
     const unsigned tiles_n = 256;
@@ -124,7 +124,7 @@ class HistoWorkload final : public Workload {
       ++depth;
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

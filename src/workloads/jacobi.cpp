@@ -22,8 +22,8 @@ class JacobiWorkload final : public Workload {
   explicit JacobiWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "jacobi"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
     auto& rt = b.rt();
 
     const unsigned bands = 64;
@@ -58,7 +58,7 @@ class JacobiWorkload final : public Workload {
       if (it + 1 < iters) rt.taskwait();
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = iters;

@@ -21,8 +21,8 @@ class KmeansWorkload final : public Workload {
   explicit KmeansWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "kmeans"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute + 2);  // distance computation per line
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute + 2);  // distance computation per line
     auto& rt = b.rt();
 
     const unsigned blocks = 96;
@@ -100,7 +100,7 @@ class KmeansWorkload final : public Workload {
       ++tasks;
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

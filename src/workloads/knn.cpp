@@ -24,8 +24,8 @@ class KnnWorkload final : public Workload {
   explicit KnnWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "knn"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute + 2);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute + 2);
     auto& rt = b.rt();
 
     const unsigned train_chunks = 4;
@@ -67,7 +67,7 @@ class KnnWorkload final : public Workload {
       ++tasks;
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

@@ -28,8 +28,8 @@ class LuWorkload final : public Workload {
   explicit LuWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "lu"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute / 2 + 1);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute / 2 + 1);
     auto& rt = b.rt();
 
     // 10x10 tiles of 24 KiB. Two panels plus the destination tile exceed
@@ -117,7 +117,7 @@ class LuWorkload final : public Workload {
       }
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

@@ -20,11 +20,11 @@ class Md5Workload final : public Workload {
   explicit Md5Workload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "md5"; }
 
-  void build(system::TiledSystem& sys) override {
+  void build(BuildContext ctx) override {
     // Hashing does many rounds of ALU work per 64B block: MD5 is strongly
     // compute-bound, which caps the achievable speedup near the paper's
     // 1.04x despite the huge LLC-access reduction.
-    Builder b(sys, params_.compute * 25);
+    Builder b(ctx, params_.compute * 25);
     auto& rt = b.rt();
 
     const unsigned buffers = 32;
@@ -49,7 +49,7 @@ class Md5Workload final : public Workload {
       ++tasks;
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = 1;

@@ -22,8 +22,8 @@ class RedblackWorkload final : public Workload {
   explicit RedblackWorkload(const WorkloadParams& p) : params_(p) {}
   const char* name() const override { return "redblack"; }
 
-  void build(system::TiledSystem& sys) override {
-    Builder b(sys, params_.compute);
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
     auto& rt = b.rt();
 
     const unsigned bands = 64;
@@ -64,7 +64,7 @@ class RedblackWorkload final : public Workload {
       }
     }
 
-    stats_.input_bytes = sys.vspace().footprint();
+    stats_.input_bytes = ctx.vspace.footprint();
     stats_.num_tasks = tasks;
     stats_.avg_task_bytes = dep_bytes_total / tasks;
     stats_.num_phases = phases;

@@ -1,14 +1,37 @@
 #include "workloads/workload.hpp"
 
 #include "common/require.hpp"
+#include "system/tiled_system.hpp"
 #include "workloads/workloads.hpp"
 
 namespace tdn::workloads {
+
+void Workload::build(system::TiledSystem& sys) {
+  build(BuildContext{sys.vspace(), sys.runtime()});
+}
 
 const std::vector<std::string>& paper_workload_names() {
   static const std::vector<std::string> names = {
       "gauss", "histo", "jacobi", "kmeans", "knn", "lu", "md5", "redblack"};
   return names;
+}
+
+bool is_valid_workload(std::string_view name) {
+  if (name == "cholesky") return true;
+  for (const std::string& n : paper_workload_names()) {
+    if (name == n) return true;
+  }
+  return false;
+}
+
+std::string valid_workload_names() {
+  std::string out;
+  for (const std::string& n : paper_workload_names()) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  out += ", cholesky";
+  return out;
 }
 
 std::unique_ptr<Workload> make_workload(std::string_view name,
@@ -22,7 +45,8 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   if (name == "md5") return make_md5(params);
   if (name == "redblack") return make_redblack(params);
   if (name == "cholesky") return make_cholesky(params);
-  TDN_REQUIRE(false, "unknown workload: " + std::string(name));
+  TDN_REQUIRE(false, "unknown workload: '" + std::string(name) +
+                         "' (valid: " + valid_workload_names() + ")");
   return nullptr;
 }
 

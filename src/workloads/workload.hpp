@@ -19,7 +19,16 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "system/tiled_system.hpp"
+
+namespace tdn::mem {
+class VirtualSpace;
+}
+namespace tdn::runtime {
+class RuntimeSystem;
+}
+namespace tdn::system {
+class TiledSystem;
+}
 
 namespace tdn::workloads {
 
@@ -38,12 +47,24 @@ struct WorkloadStats {
   std::size_t num_phases = 1;  ///< taskwait-delimited phases
 };
 
+/// Everything a workload's build() needs: a virtual address space to
+/// allocate dependency regions in and a runtime to create tasks in.
+/// Decoupled from TiledSystem so multiprogram mixes (tdn::multi) can build
+/// each app into its own runtime and offset address space while sharing one
+/// machine substrate.
+struct BuildContext {
+  mem::VirtualSpace& vspace;
+  runtime::RuntimeSystem& rt;
+};
+
 class Workload {
  public:
   virtual ~Workload() = default;
   virtual const char* name() const = 0;
-  /// Allocate regions and create the task graph in @p sys.
-  virtual void build(system::TiledSystem& sys) = 0;
+  /// Allocate regions and create the task graph via @p ctx.
+  virtual void build(BuildContext ctx) = 0;
+  /// Single-app convenience: build into @p sys's own space and runtime.
+  void build(system::TiledSystem& sys);
   /// Valid after build().
   const WorkloadStats& stats() const noexcept { return stats_; }
 
@@ -54,8 +75,13 @@ class Workload {
 /// The paper's benchmarks in Table II order.
 const std::vector<std::string>& paper_workload_names();
 
-/// Factory; also accepts "cholesky" (the Fig. 2 running example).
-/// Throws RequireError for unknown names.
+/// Every name make_workload() accepts: the paper suite plus "cholesky" (the
+/// Fig. 2 running example). For validation and error messages.
+bool is_valid_workload(std::string_view name);
+std::string valid_workload_names();  ///< comma-separated, for diagnostics
+
+/// Factory. Throws RequireError listing the valid names for unknown ones —
+/// a mix typo must fail loudly, not yield a wrong-but-plausible figure.
 std::unique_ptr<Workload> make_workload(std::string_view name,
                                         const WorkloadParams& params = {});
 

@@ -1,0 +1,272 @@
+// Tests of tdn::multi — mix parsing, per-app address-space disjointness,
+// per-app stats namespacing, colocation fingerprinting, serial/parallel
+// sweep bit-identity for mixes, and fault isolation between partitions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "harness/runner.hpp"
+#include "harness/sweep_runner.hpp"
+#include "multi/mix.hpp"
+#include "multi/multi_system.hpp"
+
+using namespace tdn;
+using namespace tdn::multi;
+
+namespace {
+
+workloads::WorkloadParams small_params() {
+  workloads::WorkloadParams p;
+  p.scale = 0.1;
+  return p;
+}
+
+}  // namespace
+
+TEST(MixSpec, ParsesMixesAndSingles) {
+  const MixSpec two = MixSpec::parse("gauss+histo");
+  ASSERT_EQ(two.apps.size(), 2u);
+  EXPECT_EQ(two.apps[0], "gauss");
+  EXPECT_EQ(two.apps[1], "histo");
+  EXPECT_TRUE(two.is_multi());
+  EXPECT_EQ(two.joined(), "gauss+histo");
+
+  const MixSpec one = MixSpec::parse("jacobi");
+  EXPECT_FALSE(one.is_multi());
+  ASSERT_EQ(one.apps.size(), 1u);
+}
+
+TEST(MixSpec, RejectsUnknownNamesListingValidOnes) {
+  try {
+    MixSpec::parse("gauss+nosuchworkload");
+    FAIL() << "expected RequireError";
+  } catch (const RequireError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nosuchworkload"), std::string::npos) << msg;
+    // The menu of valid names must be in the message.
+    EXPECT_NE(msg.find("gauss"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(MixSpec::parse(""), RequireError);
+  EXPECT_THROW(MixSpec::parse("gauss++histo"), RequireError);
+}
+
+TEST(MixSpec, AppOfVaddrInvertsTheStride) {
+  EXPECT_EQ(app_of_vaddr(mem::kHeapBase), 0u);
+  EXPECT_EQ(app_of_vaddr(kAppStride + mem::kHeapBase), 1u);
+  EXPECT_EQ(app_of_vaddr(3 * kAppStride + 12345), 3u);
+}
+
+TEST(MultiProgram, AddressSpacesAreDisjoint) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::TdNuca;
+  MultiProgramSystem sys(cfg, MixSpec::parse("gauss+histo+jacobi+kmeans"));
+  sys.build(small_params());
+  ASSERT_EQ(sys.num_apps(), 4u);
+  for (unsigned a = 0; a < 4; ++a) {
+    const Addr base = a * kAppStride + mem::kHeapBase;
+    const Addr footprint = sys.app_vspace(a).footprint();
+    EXPECT_GT(footprint, 0u) << "app " << a;
+    EXPECT_LT(footprint, kAppStride) << "app " << a;
+    // Every allocated region lies inside the app's 1 TiB slot, so regions
+    // of different apps can never alias.
+    for (const auto& r : sys.app_vspace(a).regions()) {
+      EXPECT_GE(r.range.begin, base) << "app " << a << " " << r.name;
+      EXPECT_LT(r.range.end, base + kAppStride) << "app " << a << " " << r.name;
+      EXPECT_EQ(app_of_vaddr(r.range.begin), a) << r.name;
+    }
+  }
+}
+
+TEST(MultiProgram, PartitionsAreDisjointAndCoverDistinctRows) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::SNuca;
+  MultiProgramSystem sys(cfg, MixSpec::parse("lu+md5"));
+  const CoreMask c0 = sys.app_cores(0);
+  const CoreMask c1 = sys.app_cores(1);
+  EXPECT_EQ(c0.count(), 8);
+  EXPECT_EQ(c1.count(), 8);
+  EXPECT_TRUE((c0 & c1).empty());
+  EXPECT_TRUE((sys.app_banks(0) & sys.app_banks(1)).empty());
+  EXPECT_EQ(sys.app_banks(0).count() + sys.app_banks(1).count(), 16);
+}
+
+TEST(MultiProgram, PerAppCountersSumToMachineTotals) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::TdNuca;
+  MultiProgramSystem sys(cfg, MixSpec::parse("gauss+histo"));
+  sys.build(small_params());
+  sys.run();
+  ASSERT_TRUE(sys.completed());
+
+  const auto reg = sys.collect_stats();
+  EXPECT_EQ(reg.get("multi.num_apps"), 2.0);
+  for (const char* key : {"llc.requests", "llc.hits", "llc.misses",
+                          "llc.writebacks", "tasks.completed"}) {
+    const std::string k = key;
+    EXPECT_EQ(reg.get("app0." + k) + reg.get("app1." + k), reg.get(k)) << k;
+  }
+  EXPECT_EQ(reg.get("sim.cycles"),
+            std::max(reg.get("app0.sim.cycles"), reg.get("app1.sim.cycles")));
+  EXPECT_GT(reg.get("app0.sim.cycles"), 0.0);
+  EXPECT_GT(reg.get("app1.sim.cycles"), 0.0);
+
+  // Partitioned mode: every app's resident lines stay inside its own banks.
+  for (unsigned a = 0; a < 2; ++a) {
+    const BankMask own = sys.app_banks(a);
+    std::uint64_t outside = 0;
+    for (BankId b = 0; b < 16; ++b)
+      if (!own.test(b)) outside += sys.caches().app_resident_lines(a, b);
+    EXPECT_EQ(outside, 0u) << "app " << a << " leaked lines outside partition";
+  }
+}
+
+TEST(MultiProgram, SharedModeSpansTheWholeLlc) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::SNuca;
+  MultiOptions opts;
+  opts.mode = PartitionMode::Shared;
+  MultiProgramSystem sys(cfg, MixSpec::parse("gauss+histo"), opts);
+  sys.build(small_params());
+  sys.run();
+  ASSERT_TRUE(sys.completed());
+  // In Shared mode the bank masks are empty (= whole LLC) and the stats
+  // report all 16 banks per app.
+  EXPECT_TRUE(sys.app_banks(0).empty());
+  const auto reg = sys.collect_stats();
+  EXPECT_EQ(reg.get("app0.banks"), 16.0);
+  EXPECT_EQ(reg.get("multi.partitioned"), 0.0);
+}
+
+TEST(MultiProgram, FingerprintSeparatesColocationOptions) {
+  harness::RunConfig base;
+  base.workload = "gauss+histo";
+  base.policy = system::PolicyKind::TdNuca;
+
+  harness::RunConfig shared = base;
+  shared.multi.mode = PartitionMode::Shared;
+  harness::RunConfig ways = base;
+  ways.multi.ways_per_app = 4;
+  harness::RunConfig overlap = base;
+  overlap.multi.overlap_cores = true;
+
+  EXPECT_NE(base.fingerprint(), shared.fingerprint());
+  EXPECT_NE(base.fingerprint(), ways.fingerprint());
+  EXPECT_NE(base.fingerprint(), overlap.fingerprint());
+  EXPECT_NE(shared.fingerprint(), ways.fingerprint());
+
+  // Different mixes and the single-app spelling all hash apart.
+  harness::RunConfig single = base;
+  single.workload = "gauss";
+  harness::RunConfig other = base;
+  other.workload = "histo+gauss";
+  EXPECT_NE(base.fingerprint(), single.fingerprint());
+  EXPECT_NE(base.fingerprint(), other.fingerprint());
+}
+
+TEST(MultiProgram, FingerprintGoldenV5) {
+  // Golden hash of the default 2-app config under schema v5. A change here
+  // means cached results are (correctly) invalidated — if that was not the
+  // intent, the fingerprint composition regressed. Regenerate by printing
+  // cfg.fingerprint() for this exact config.
+  harness::RunConfig cfg;
+  cfg.workload = "gauss+histo";
+  cfg.policy = system::PolicyKind::TdNuca;
+  EXPECT_EQ(cfg.fingerprint(), 0x2fd35ec108122f12ull)
+      << std::hex << cfg.fingerprint();
+}
+
+TEST(MultiProgram, SerialAndParallelMixSweepsBitIdentical) {
+  std::vector<harness::RunConfig> cfgs;
+  for (const auto mode : {PartitionMode::Partitioned, PartitionMode::Shared}) {
+    for (const auto pol :
+         {system::PolicyKind::SNuca, system::PolicyKind::TdNuca}) {
+      harness::RunConfig cfg;
+      cfg.workload = "gauss+histo";
+      cfg.policy = pol;
+      cfg.multi.mode = mode;
+      cfg.params = small_params();
+      cfgs.push_back(std::move(cfg));
+    }
+  }
+  harness::SweepOptions serial_opts, par_opts;
+  serial_opts.jobs = 1;
+  serial_opts.use_cache = false;
+  par_opts.jobs = 4;
+  par_opts.use_cache = false;
+  const auto serial = harness::SweepRunner(serial_opts).run(cfgs);
+  const auto parallel = harness::SweepRunner(par_opts).run(cfgs);
+  ASSERT_EQ(serial.size(), cfgs.size());
+  ASSERT_EQ(parallel.size(), cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    // std::map equality compares every key and every double bit-exactly.
+    EXPECT_EQ(serial[i].metrics, parallel[i].metrics) << "run " << i;
+  }
+}
+
+TEST(MultiProgramFault, DeadBankInOnePartitionDegradesOnlyThatApp) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::TdNuca;
+  // Bank 3 is in app0's row partition (rows 0-1 on the 4x4 mesh); it dies
+  // early enough that both apps are still running.
+  cfg.fault.plan = "bank_fail@3:cycle=5k";
+  MultiProgramSystem sys(cfg, MixSpec::parse("gauss+histo"));
+  sys.build(small_params());
+  sys.run();
+  ASSERT_TRUE(sys.completed());
+
+  ASSERT_NE(sys.fault_injector(), nullptr);
+  EXPECT_EQ(sys.fault_injector()->health().counters.banks_failed, 1u);
+  EXPECT_FALSE(sys.fault_injector()->health().bank_ok(3));
+  EXPECT_TRUE(sys.app_banks(0).test(3));
+
+  // Isolation: even while app0 degrades around its dead bank, neither app's
+  // lines ever land in the other's partition (NoC/DRAM sharing may still
+  // perturb timing, but capacity stays partitioned).
+  EXPECT_EQ(sys.caches().app_resident_lines(0, 3), 0u);  // dead bank drained
+  for (unsigned a = 0; a < 2; ++a) {
+    const BankMask own = sys.app_banks(a);
+    for (BankId b = 0; b < 16; ++b)
+      if (!own.test(b))
+        EXPECT_EQ(sys.caches().app_resident_lines(a, b), 0u)
+            << "app " << a << " bank " << b;
+  }
+  // Both apps finish all their tasks despite the failure.
+  const auto reg = sys.collect_stats();
+  EXPECT_EQ(reg.get("app0.tasks.completed"),
+            reg.get("app0.workload.num_tasks"));
+  EXPECT_EQ(reg.get("app1.tasks.completed"),
+            reg.get("app1.workload.num_tasks"));
+}
+
+TEST(MultiProgram, WayQuotasRespectAssociativity) {
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::SNuca;
+  MultiOptions opts;
+  opts.ways_per_app = 4;  // 2 apps x 4 ways fits the 16-way LLC
+  MultiProgramSystem sys(cfg, MixSpec::parse("gauss+histo"), opts);
+  sys.build(small_params());
+  sys.run();
+  ASSERT_TRUE(sys.completed());
+  const auto reg = sys.collect_stats();
+  EXPECT_EQ(reg.get("multi.ways_per_app"), 4.0);
+
+  MultiOptions too_many;
+  too_many.ways_per_app = 12;  // 2 x 12 > 16-way LLC: must fail loudly
+  EXPECT_THROW(
+      { MultiProgramSystem bad(cfg, MixSpec::parse("gauss+histo"), too_many); },
+      RequireError);
+}
+
+TEST(MultiProgram, RejectsUnsupportedShapes) {
+  system::SystemConfig cfg;
+  // 3 apps cannot row-partition a 4-row mesh.
+  EXPECT_THROW(
+      { MultiProgramSystem bad(cfg, MixSpec::parse("gauss+histo+jacobi")); },
+      RequireError);
+  cfg.policy = system::PolicyKind::TdNucaDryRun;
+  EXPECT_THROW(
+      { MultiProgramSystem bad(cfg, MixSpec::parse("gauss+histo")); },
+      RequireError);
+}

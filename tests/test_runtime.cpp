@@ -216,6 +216,23 @@ TEST(Scheduler, FifoOrder) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(Scheduler, AffinityRequiresTaskTableBeforeDispatch) {
+  AffinityScheduler s;
+  // Empty queue: the early-exit fires before the wiring check, so probing
+  // an idle scheduler never needs the table.
+  EXPECT_EQ(s.dequeue(0), nullptr);
+  Task t;
+  t.id = 0;
+  s.enqueue(t);
+  // First real dispatch without set_tasks(): assembly forgot to wire the
+  // runtime's task table — fail loudly instead of scheduling blind.
+  EXPECT_THROW(s.dequeue(0), RequireError);
+  std::vector<Task> tasks(1);
+  tasks[0].id = 0;
+  s.set_tasks(&tasks);
+  EXPECT_EQ(s.dequeue(0), &t);
+}
+
 TEST(Scheduler, AffinityPrefersPredecessorCore) {
   std::vector<Task> tasks(3);
   tasks[0].id = 0;
