@@ -93,9 +93,13 @@ class CacheArray {
   /// it back / invalidate copies. The new line is MRU.
   ///
   /// @p avoid, when set, marks victim addresses that must not be displaced
-  /// (lines with an in-flight coherence transaction). If every way is
-  /// unevictable — which a blocking directory makes effectively impossible
-  /// at 16 ways — the pseudo-LRU victim is used regardless.
+  /// (lines with an in-flight coherence transaction). If every way in the
+  /// allocation window is unevictable — effectively impossible for a
+  /// blocking directory over a full 16-way set, but reachable under narrow
+  /// tdn::multi way quotas — the pseudo-LRU victim is used regardless. That
+  /// forced choice is a protocol hazard, so it is counted in
+  /// forced_unsafe_evictions() and trips TDN_ASSERT in debug builds rather
+  /// than passing silently.
   ///
   /// @p first_way / @p way_count, when way_count > 0, restrict the
   /// allocation (invalid-way scan, victim choice and avoid fallback) to that
@@ -127,11 +131,20 @@ class CacheArray {
     if (way == geo_.associativity) {
       way = plru_[s].victim_in(first_way, way_count);
       if (avoid && avoid(at(s, way).addr)) {
+        bool found_safe = false;
         for (unsigned w = first_way; w < end_way; ++w) {
           if (!avoid(at(s, w).addr)) {
             way = w;
+            found_safe = true;
             break;
           }
+        }
+        if (!found_safe) {
+          // Every way in the window is pinned: the eviction below displaces
+          // a line the caller asked to protect.
+          ++forced_unsafe_evictions_;
+          TDN_ASSERT(!"allocate: every way in the window is pinned; "
+                      "forcing an unsafe eviction");
         }
       }
       Line& victim = at(s, way);
@@ -211,6 +224,11 @@ class CacheArray {
 
   std::uint64_t occupied_lines() const noexcept { return occupied_; }
   std::uint64_t capacity_lines() const noexcept { return lines_.size(); }
+  /// Times allocate() had to evict a line its `avoid` predicate pinned
+  /// because the whole way window was pinned (see allocate()).
+  std::uint64_t forced_unsafe_evictions() const noexcept {
+    return forced_unsafe_evictions_;
+  }
 
  private:
   Line& at(unsigned set, unsigned way) {
@@ -222,6 +240,7 @@ class CacheArray {
   std::vector<Line> lines_;
   std::vector<PseudoLruTree> plru_;
   std::uint64_t occupied_ = 0;
+  std::uint64_t forced_unsafe_evictions_ = 0;
 };
 
 }  // namespace tdn::cache

@@ -5,13 +5,15 @@
 namespace tdn::cache {
 
 MshrFile::Outcome MshrFile::register_miss(Addr line_addr,
-                                          std::function<void()> on_fill) {
+                                          std::function<void()>&& on_fill) {
   auto it = entries_.find(line_addr);
   if (it != entries_.end()) {
     it->second.push_back(std::move(on_fill));
     merges_.inc();
     return Outcome::Merged;
   }
+  // Capacity is checked before consuming on_fill: on Full the callback must
+  // remain with the caller (see the header contract) so it can be retried.
   if (entries_.size() >= capacity_) {
     full_.inc();
     return Outcome::Full;

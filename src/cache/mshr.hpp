@@ -23,7 +23,10 @@ class MshrFile {
     Full,      ///< no free MSHR: caller must retry later
   };
 
-  Outcome register_miss(Addr line_addr, std::function<void()> on_fill);
+  /// Register a miss. On Outcome::Full @p on_fill is guaranteed untouched
+  /// (not moved from): the caller keeps ownership and must retry later —
+  /// a dropped fill callback would strand the access forever.
+  Outcome register_miss(Addr line_addr, std::function<void()>&& on_fill);
 
   bool in_flight(Addr line_addr) const { return entries_.count(line_addr) != 0; }
   std::size_t outstanding() const noexcept { return entries_.size(); }

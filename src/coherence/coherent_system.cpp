@@ -36,6 +36,13 @@ std::uint64_t CoherentSystem::llc_resident_lines() const {
   return n;
 }
 
+std::uint64_t CoherentSystem::forced_unsafe_evictions() const {
+  std::uint64_t n = 0;
+  for (const auto& l1 : l1s_) n += l1.array.forced_unsafe_evictions();
+  for (const auto& b : banks_) n += b.array.forced_unsafe_evictions();
+  return n;
+}
+
 // --------------------------------------------------------------------------
 // Multiprogram view (tdn::multi)
 // --------------------------------------------------------------------------
@@ -148,8 +155,27 @@ void CoherentSystem::start_miss(CoreId core, Addr vaddr, Addr line,
     access_internal(core, vaddr, line, kind, std::move(done),
                     /*replay=*/true);
   };
-  const auto outcome = l1.mshr.register_miss(line, std::move(retry));
-  TDN_ASSERT(outcome != cache::MshrFile::Outcome::Full);
+  register_miss_or_retry(core, vaddr, line, kind, issued_at, std::move(retry));
+}
+
+void CoherentSystem::register_miss_or_retry(CoreId core, Addr vaddr, Addr line,
+                                            AccessKind kind, Cycle issued_at,
+                                            std::function<void()> on_fill) {
+  const auto outcome = l1s_[core].mshr.register_miss(line, std::move(on_fill));
+  if (outcome == cache::MshrFile::Outcome::Full) {
+    // The pre-check in start_miss normally backs off before registration can
+    // fail, but a Full outcome must never lose the fill callback: MshrFile
+    // guarantees on_fill is left intact on Full, so re-queue it until a
+    // register slot frees up.
+    stats_.mshr_stalls.inc();
+    eq_.schedule_in(cfg_.mshr_retry_delay,
+                    [this, core, vaddr, line, kind, issued_at,
+                     cb = std::move(on_fill)]() mutable {
+                      register_miss_or_retry(core, vaddr, line, kind,
+                                             issued_at, std::move(cb));
+                    });
+    return;
+  }
   if (outcome == cache::MshrFile::Outcome::NewEntry) {
     launch_transaction(core, vaddr, line, kind, issued_at);
   }
@@ -233,7 +259,7 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
     it->second.push_back(std::move(process));  // blocking directory
     return;
   }
-  b.blocked.emplace(line, std::deque<std::function<void()>>{});
+  b.blocked.emplace(line, std::deque<sim::Action>{});
   process();
 }
 

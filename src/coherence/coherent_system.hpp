@@ -131,6 +131,11 @@ class CoherentSystem final : public nuca::CacheOps {
   /// Cycles each core's flush engine spent scanning (Sec. V-E overhead).
   Cycle flush_busy_cycles(CoreId core) const { return l1s_.at(core).flush_busy; }
   std::uint64_t llc_resident_lines() const;
+  /// Evictions forced onto a pinned (in-flight) line because every way in
+  /// the allocation window was pinned — summed over all L1s and LLC banks.
+  /// Nonzero values flag a protocol hazard (narrow way quotas make it
+  /// reachable); see cache::CacheArray::allocate.
+  std::uint64_t forced_unsafe_evictions() const;
 
   /// Per-bank request breakdown — always accounted (it feeds the Registry's
   /// llc.bankN.* keys, the obs epoch sampler and the bank heatmap).
@@ -219,8 +224,9 @@ class CoherentSystem final : public nuca::CacheOps {
     std::uint64_t cross_app_conflicts = 0;  ///< see bank_cross_app_conflicts
     std::uint8_t last_app = 0xff;  ///< app of the last accepted request
     /// Blocking directory: blocked[line] holds actions to replay once the
-    /// in-flight transaction on that line completes.
-    std::unordered_map<Addr, std::deque<std::function<void()>>> blocked;
+    /// in-flight transaction on that line completes. Inline callables: a
+    /// queued request costs no allocation (see sim/inline_function.hpp).
+    std::unordered_map<Addr, std::deque<sim::Action>> blocked;
   };
 
   Addr line_of(Addr a) const { return align_down(a, cfg_.l1.line_size); }
@@ -229,6 +235,13 @@ class CoherentSystem final : public nuca::CacheOps {
                        std::function<void(Cycle)> done, bool replay);
   void start_miss(CoreId core, Addr vaddr, Addr line, AccessKind kind,
                   Cycle issued_at, std::function<void(Cycle)> done);
+  /// (Re-)register a prepared on_fill callback with @p core's MSHR file,
+  /// launching the transaction on NewEntry and backing off on Full. The
+  /// callback is never dropped: MshrFile guarantees it is left intact on
+  /// Outcome::Full, and this helper re-queues it until it registers.
+  void register_miss_or_retry(CoreId core, Addr vaddr, Addr line,
+                              AccessKind kind, Cycle issued_at,
+                              std::function<void()> on_fill);
   void launch_transaction(CoreId core, Addr vaddr, Addr line, AccessKind kind,
                           Cycle issued_at);
   void bank_request(BankId bank, CoreId requester, Addr line, AccessKind kind);

@@ -103,12 +103,13 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
 
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v5": derived-metric schema version; bump to invalidate cached results
+  // "v6": derived-metric schema version; bump to invalidate cached results
   // when the metric extraction changes (v3 added the per-bank llc.bankN.*
   // keys; v4 added the fault.* keys and folded the fault plan into the
   // system fingerprint; v5 added multiprogram mixes — the appK.* /
-  // multi.* keys and the colocation options below).
-  os << "v5/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // multi.* keys and the colocation options below; v6 added
+  // cache.forced_unsafe_evictions).
+  os << "v6/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
      << multi.canonical() << '/' << sys.fingerprint();
   const std::string s = os.str();

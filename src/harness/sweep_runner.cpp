@@ -4,8 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -33,15 +35,6 @@ struct WorkItem {
   std::exception_ptr error;
 };
 
-std::string format_eta(double ms) {
-  const long s = static_cast<long>(ms / 1000.0 + 0.5);
-  char buf[32];
-  if (s >= 3600) std::snprintf(buf, sizeof buf, "%ldh%02ldm", s / 3600, s % 3600 / 60);
-  else if (s >= 60) std::snprintf(buf, sizeof buf, "%ldm%02lds", s / 60, s % 60);
-  else std::snprintf(buf, sizeof buf, "%lds", s);
-  return buf;
-}
-
 /// Serialized progress reporting. On a TTY the line redraws in place; on a
 /// pipe (CI logs) only the final summary is printed to avoid \r spam.
 class Progress {
@@ -54,10 +47,17 @@ class Progress {
     if (!tty_) return;
     std::lock_guard<std::mutex> lock(mu_);
     const double elapsed = ms_since(t0_);
-    const double eta =
-        done > 0 ? elapsed / static_cast<double>(done) *
-                       static_cast<double>(total_ - done)
-                 : 0.0;
+    // Guard the extrapolation: done can only be 0 if a caller misuses us,
+    // and done > total_ would underflow the remaining-run count. Either way
+    // (or with a non-finite elapsed) format_eta renders "--" rather than
+    // arithmetic garbage.
+    double eta = 0.0;
+    if (done == 0 || done > total_) {
+      eta = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      eta = elapsed / static_cast<double>(done) *
+            static_cast<double>(total_ - done);
+    }
     std::fprintf(stderr,
                  "\r[sweep] %zu/%zu done, %zu cache hits, ETA %s   ", done,
                  total_, cache_hits, format_eta(eta).c_str());
@@ -87,6 +87,21 @@ unsigned resolve_jobs(unsigned requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw != 0 ? hw : 1;
+}
+
+std::string format_eta(double ms) {
+  // NaN, infinities and negative durations are placeholders, not estimates;
+  // the upper clamp keeps the cast to integer seconds in-range (casting a
+  // double beyond LONG_MAX is undefined behaviour).
+  if (!std::isfinite(ms) || ms < 0.0) return "--";
+  constexpr double kMaxMs = 99.0 * 3600.0 * 1000.0;
+  if (ms > kMaxMs) return ">99h";
+  const long s = static_cast<long>(ms / 1000.0 + 0.5);
+  char buf[32];
+  if (s >= 3600) std::snprintf(buf, sizeof buf, "%ldh%02ldm", s / 3600, s % 3600 / 60);
+  else if (s >= 60) std::snprintf(buf, sizeof buf, "%ldm%02lds", s / 60, s % 60);
+  else std::snprintf(buf, sizeof buf, "%lds", s);
+  return buf;
 }
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "harness/runner.hpp"
@@ -72,5 +73,12 @@ class SweepRunner {
 
 /// Resolve a jobs request (0 = auto) against the host, never returning 0.
 unsigned resolve_jobs(unsigned requested);
+
+/// Render a duration (milliseconds) as a compact ETA ("42s", "3m07s",
+/// "2h15m"). Total-function over the whole double range: NaN, infinities
+/// and negative values (a first run completing in ~0 elapsed ms used to
+/// push Inf/garbage into the progress line) render as "--", and durations
+/// beyond 99 hours clamp to ">99h" instead of overflowing the cast.
+std::string format_eta(double ms);
 
 }  // namespace tdn::harness

@@ -396,6 +396,8 @@ stats::Registry MultiProgramSystem::collect_stats() const {
   r.set("llc.accesses", static_cast<double>(caches_->llc_accesses()));
   r.set("llc.hit_ratio", caches_->llc_hit_ratio());
   r.set("llc.bypass_reads", static_cast<double>(cs.bypass_reads.value()));
+  r.set("cache.forced_unsafe_evictions",
+        static_cast<double>(caches_->forced_unsafe_evictions()));
   for (unsigned b = 0; b < n; ++b) {
     const auto& bc = caches_->bank_counters(b);
     const std::string p = "llc.bank" + std::to_string(b);

@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <array>
+#include <memory>
 
 #include "common/require.hpp"
 
@@ -76,13 +77,12 @@ bool Network::find_detour(CoreId src, CoreId dst,
   return false;
 }
 
-void Network::send(CoreId src, CoreId dst, MsgClass cls,
-                   std::function<void()> deliver) {
+void Network::send(CoreId src, CoreId dst, MsgClass cls, sim::Action deliver) {
   send_attempt(src, dst, cls, std::move(deliver), 0);
 }
 
 void Network::send_attempt(CoreId src, CoreId dst, MsgClass cls,
-                           std::function<void()> deliver, unsigned attempt) {
+                           sim::Action deliver, unsigned attempt) {
   auto path = mesh_.xy_route(src, dst);
   if (health_ != nullptr && health_->any_link_failed() && path_blocked(path)) {
     auto alt = mesh_.yx_route(src, dst);
@@ -98,12 +98,15 @@ void Network::send_attempt(CoreId src, CoreId dst, MsgClass cls,
       TDN_CHECK(attempt < cfg_.dead_link_max_retries,
                 "message cannot route around failed links");
       ++health_->counters.noc_retries;
-      eq_.schedule_in(
-          cfg_.dead_link_backoff * (attempt + 1),
-          [this, src, dst, cls, deliver = std::move(deliver),
-           attempt]() mutable {
-            send_attempt(src, dst, cls, std::move(deliver), attempt + 1);
-          });
+      // An Action cannot nest inside another Action of the same capacity;
+      // box it for the (rare, fault-only) backoff. This is the one place on
+      // the message path that may allocate, and only when links have failed.
+      auto boxed = std::make_shared<sim::Action>(std::move(deliver));
+      eq_.schedule_in(cfg_.dead_link_backoff * (attempt + 1),
+                      [this, src, dst, cls, boxed, attempt] {
+                        send_attempt(src, dst, cls, std::move(*boxed),
+                                     attempt + 1);
+                      });
       return;
     }
   }

@@ -50,8 +50,9 @@ class Network {
   /// Send a message; @p deliver runs when the head arrives at @p dst.
   /// src == dst is a local (same-tile) transfer: zero network latency, but
   /// the bytes still count as passing through the one local router.
-  void send(CoreId src, CoreId dst, MsgClass cls,
-            std::function<void()> deliver);
+  /// @p deliver is an inline callable (sim::Action): per-message delivery
+  /// state never touches the heap — see sim/inline_function.hpp.
+  void send(CoreId src, CoreId dst, MsgClass cls, sim::Action deliver);
 
   /// Attach the shared resource-health view. Null (the default) keeps
   /// routing on the plain XY path with no per-link checks.
@@ -104,7 +105,7 @@ class Network {
   /// and fills @p path with the first fully healthy candidate.
   bool find_detour(CoreId src, CoreId dst, std::vector<CoreId>& path) const;
   void send_attempt(CoreId src, CoreId dst, MsgClass cls,
-                    std::function<void()> deliver, unsigned attempt);
+                    sim::Action deliver, unsigned attempt);
 
   const Mesh& mesh_;
   sim::EventQueue& eq_;

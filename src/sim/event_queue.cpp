@@ -1,38 +1,63 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace tdn::sim {
 
-void EventQueue::schedule_at(Cycle when, Action fn) {
-  TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  heap_.push(Event{when, next_seq_++, std::move(fn), /*observer=*/false});
+void EventQueue::grow_pool() {
+  chunks_.push_back(std::make_unique<Event[]>(kChunk));
+  Event* base = chunks_.back().get();
+  free_.reserve(free_.size() + kChunk);
+  for (std::size_t i = 0; i < kChunk; ++i) free_.push_back(base + i);
 }
 
-void EventQueue::schedule_observer_at(Cycle when, Action fn) {
-  TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  heap_.push(Event{when, next_seq_++, std::move(fn), /*observer=*/true});
-  ++observer_pending_;
+void EventQueue::push_event(Event* ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+EventQueue::Event* EventQueue::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event* ev = heap_.back();
+  heap_.pop_back();
+  return ev;
 }
 
 Cycle EventQueue::run() { return run_until(kNeverCycle); }
 
 Cycle EventQueue::run_until(Cycle limit) {
   while (!heap_.empty()) {
-    // Move the action out before popping: the action may schedule new events.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    if (ev.observer) {
+    // Peek before popping: if the next real event is over the limit the
+    // deadlock guard must fire *without* consuming it, so a caught overrun
+    // leaves the queue resumable and the counters truthful.
+    Event* top = heap_.front();
+    if (!top->observer) {
+      TDN_REQUIRE(top->when <= limit,
+                  "simulation exceeded cycle limit (deadlock?)");
+    }
+    Event* ev = pop_top();
+    // Recycle the slot whether the action returns or throws: a throwing
+    // event is consumed (it cannot be un-run), but its slot and captured
+    // state must not linger until pool teardown.
+    struct Recycler {
+      EventQueue* q;
+      Event* e;
+      ~Recycler() { q->recycle(e); }
+    } recycler{this, ev};
+    if (ev->observer) {
       --observer_pending_;
       // Observers past the limit are dropped, not an error: a cycle-limited
       // run must not be failed by a pending sampler tick.
-      if (ev.when > limit) continue;
-      now_ = ev.when;
-      ev.fn();
+      if (ev->when > limit) continue;
+      now_ = ev->when;
+      ev->fn();
       continue;
     }
-    TDN_REQUIRE(ev.when <= limit, "simulation exceeded cycle limit (deadlock?)");
-    now_ = ev.when;
+    now_ = ev->when;
+    ev->fn();
+    // Counted only after the action completes: an action that throws is not
+    // a (successfully) executed event.
     ++executed_;
-    ev.fn();
   }
   return now_;
 }

@@ -4,26 +4,66 @@
 // for the same cycle execute in schedule order (a monotonically increasing
 // sequence number breaks ties), which makes every run fully deterministic
 // (DESIGN.md decision 6).
+//
+// Performance model (DESIGN.md decision 1): events live in a recycled pool
+// and their callables are stored inline (InlineFunction), so steady-state
+// scheduling and dispatch never touch the heap allocator. The priority heap
+// orders Event* pointers — sift operations move 8-byte pointers, not whole
+// closures. The (when, seq) order is exactly the pre-pool order, so every
+// fingerprint golden stays bit-identical.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/require.hpp"
 #include "common/types.hpp"
+#include "sim/inline_function.hpp"
 
 namespace tdn::sim {
 
+/// Inline-capture budget for one event action. Sized for the largest
+/// capture on the coherence path (a miss continuation carrying a
+/// std::function completion plus addresses and ids); anything larger fails
+/// to compile — see InlineFunction.
+inline constexpr std::size_t kActionCapacity = 120;
+
+/// The event-queue callable. Also used directly for per-message delivery
+/// continuations (noc::Network) and blocked-directory queues
+/// (coherence::CoherentSystem) so those paths are allocation-free too.
+using Action = InlineFunction<void(), kActionCapacity>;
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedule @p fn to run at absolute cycle @p when (>= now()).
-  void schedule_at(Cycle when, Action fn);
-  /// Schedule @p fn to run @p delay cycles from now.
-  void schedule_in(Cycle delay, Action fn) { schedule_at(now_ + delay, std::move(fn)); }
+  /// Schedule a callable to run at absolute cycle @p when (>= now()).
+  /// The callable is emplaced directly into a pooled event slot: no heap
+  /// allocation, and captures larger than kActionCapacity fail to compile.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Action>>>
+  void schedule_at(Cycle when, F&& fn) {
+    Event* ev = acquire(when, /*observer=*/false);
+    ev->fn.emplace(std::forward<F>(fn));
+    push_event(ev);
+  }
+  /// Overload for an already-built Action (moved, not re-wrapped).
+  void schedule_at(Cycle when, Action fn) {
+    Event* ev = acquire(when, /*observer=*/false);
+    ev->fn = std::move(fn);
+    push_event(ev);
+  }
+
+  /// Schedule a callable to run @p delay cycles from now.
+  template <typename F>
+  void schedule_in(Cycle delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule an *observer* event: it runs like a normal event but is
   /// invisible to the simulation's accounting — it is excluded from
@@ -31,15 +71,29 @@ class EventQueue {
   /// check (beyond-limit observers are silently dropped). Observer actions
   /// must never mutate simulation state; the obs epoch sampler uses them so
   /// that recording on/off yields bit-identical results.
-  void schedule_observer_at(Cycle when, Action fn);
-  void schedule_observer_in(Cycle delay, Action fn) {
-    schedule_observer_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule_observer_at(Cycle when, F&& fn) {
+    Event* ev = acquire(when, /*observer=*/true);
+    ev->fn.emplace(std::forward<F>(fn));
+    push_event(ev);
+    ++observer_pending_;
+  }
+  template <typename F>
+  void schedule_observer_in(Cycle delay, F&& fn) {
+    schedule_observer_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Run events until the queue drains. Returns the final cycle.
   Cycle run();
   /// Run events with a hard cycle limit (deadlock guard in tests).
   /// Returns the final cycle; throws RequireError if the limit is exceeded.
+  ///
+  /// The guard is non-destructive: the over-limit event is *peeked*, not
+  /// popped, so a caught overrun leaves the queue, now() and executed()
+  /// exactly as they were after the last in-limit event — the run can be
+  /// resumed with a higher limit. An event whose action throws is consumed
+  /// (it cannot be un-run) but is not counted in executed(); the remaining
+  /// events stay queued and runnable.
   Cycle run_until(Cycle limit);
 
   Cycle now() const noexcept { return now_; }
@@ -51,21 +105,51 @@ class EventQueue {
   }
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Event slots ever allocated (pool high-water mark, rounded up to the
+  /// chunk size). Steady-state simulation recycles slots, so this tracks
+  /// peak pending concurrency, not event count — exposed for the substrate
+  /// bench and the pool-recycling tests.
+  std::size_t pool_slots() const noexcept { return chunks_.size() * kChunk; }
+
  private:
   struct Event {
-    Cycle when;
-    std::uint64_t seq;
-    Action fn;
+    Cycle when = 0;
+    std::uint64_t seq = 0;
     bool observer = false;
+    Action fn;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
     }
   };
+  static constexpr std::size_t kChunk = 256;
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Grab a free pooled slot (allocating a new chunk only when the free
+  /// list is empty) and stamp it with (when, seq, observer).
+  Event* acquire(Cycle when, bool observer) {
+    TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
+    if (free_.empty()) grow_pool();
+    Event* ev = free_.back();
+    free_.pop_back();
+    ev->when = when;
+    ev->seq = next_seq_++;
+    ev->observer = observer;
+    return ev;
+  }
+  void push_event(Event* ev);
+  /// Pop the heap top; the caller runs the action and then recycles.
+  Event* pop_top();
+  void recycle(Event* ev) noexcept {
+    ev->fn.reset();
+    free_.push_back(ev);
+  }
+  void grow_pool();
+
+  std::vector<Event*> heap_;  ///< binary min-heap of pooled events
+  std::vector<Event*> free_;  ///< recycled slots
+  std::vector<std::unique_ptr<Event[]>> chunks_;
   Cycle now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -127,6 +127,40 @@ TEST(CacheArray, AvoidPredicateSkipsBusyVictim) {
   EXPECT_NE(ev->addr, protected_line);
 }
 
+TEST(CacheArray, FullyPinnedWindowForcesUnsafeEviction) {
+  // Pathological case: every way in the allocation window is protected by
+  // the avoid predicate. allocate() cannot stall (the caller owns timing),
+  // so it must pick a victim anyway — but that protocol hazard is counted
+  // in forced_unsafe_evictions() and trips TDN_ASSERT in debug builds.
+  auto pinned_alloc = [] {
+    Array arr({4 * kKiB, 4, 64});
+    std::optional<Array::Eviction> ev;
+    for (int i = 0; i < 4; ++i) arr.allocate(0x100000 + i * 1024, ev);
+    arr.allocate(0x100000 + 4 * 1024, ev, [](Addr) { return true; });
+    return std::make_pair(ev, arr.forced_unsafe_evictions());
+  };
+#if !defined(NDEBUG) || defined(TDN_CHECKED)
+  EXPECT_DEATH(pinned_alloc(), "pinned");
+#else
+  const auto [ev, forced] = pinned_alloc();
+  ASSERT_TRUE(ev.has_value());  // a pinned line was displaced, not dropped
+  EXPECT_EQ(forced, 1u);
+#endif
+}
+
+TEST(CacheArray, SafeFallbackDoesNotCountAsForced) {
+  Array arr({4 * kKiB, 4, 64});
+  std::optional<Array::Eviction> ev;
+  for (int i = 0; i < 4; ++i) arr.allocate(0x100000 + i * 1024, ev);
+  // Pin everything except one way: the fallback finds the safe way and the
+  // forced counter stays at zero.
+  const Addr safe = 0x100000 + 2 * 1024;
+  arr.allocate(0x100000 + 4 * 1024, ev, [&](Addr a) { return a != safe; });
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->addr, safe);
+  EXPECT_EQ(arr.forced_unsafe_evictions(), 0u);
+}
+
 TEST(CacheArray, SetIndexShiftSpreadsBankInterleavedLines) {
   // With 16-way interleaving across banks, a bank sees lines whose low 4
   // line-address bits are constant. Without the shift those lines collide
@@ -189,6 +223,26 @@ TEST(Mshr, CapacityLimit) {
   // Merges still allowed when full.
   EXPECT_EQ(mshr.register_miss(0x00, [] {}), MshrFile::Outcome::Merged);
   EXPECT_EQ(mshr.structural_stalls(), 1u);
+}
+
+TEST(Mshr, FullLeavesCallbackIntact) {
+  // Contract regression (mshr.hpp): Outcome::Full must not consume the
+  // rvalue callback — the caller keeps ownership and retries later. A
+  // moved-from std::function here would silently drop the fill and strand
+  // the access forever.
+  MshrFile mshr(1);
+  EXPECT_EQ(mshr.register_miss(0x00, [] {}), MshrFile::Outcome::NewEntry);
+  int calls = 0;
+  std::function<void()> cb = [&] { ++calls; };
+  EXPECT_EQ(mshr.register_miss(0x40, std::move(cb)), MshrFile::Outcome::Full);
+  ASSERT_TRUE(static_cast<bool>(cb));  // still owned by the caller
+  // Retry after the in-flight miss completes: the same callback registers
+  // and fires normally.
+  for (auto& fill : mshr.complete(0x00)) fill();
+  EXPECT_EQ(mshr.register_miss(0x40, std::move(cb)),
+            MshrFile::Outcome::NewEntry);
+  for (auto& fill : mshr.complete(0x40)) fill();
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(Mshr, CompleteUnknownThrows) {

@@ -1,0 +1,95 @@
+// Determinism lock-in: end-to-end golden fingerprints and metric hashes.
+//
+// The simulation substrate (event queue, coherence, NoC) is allowed to be
+// rewritten for speed, but never to change a single simulated cycle. These
+// goldens pin one workload per NUCA policy: if any of them moves, either
+// the metric schema changed on purpose (bump the fingerprint version in
+// RunConfig::fingerprint and regenerate below) or determinism regressed.
+//
+// Regenerate by printing cfg.fingerprint() and the fnv1a64 of the
+// precision-17 "key,value\n" serialization of RunResult::metrics for each
+// case (scale=0.25, defaults otherwise, cache disabled).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/prng.hpp"
+#include "harness/runner.hpp"
+
+namespace tdn {
+namespace {
+
+std::uint64_t metrics_hash(const std::map<std::string, double>& m) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [k, v] : m) os << k << ',' << v << '\n';
+  const std::string s = os.str();
+  return fnv1a64(s.data(), s.size());
+}
+
+struct GoldenCase {
+  const char* workload;
+  system::PolicyKind policy;
+  std::uint64_t fingerprint;
+  std::uint64_t metrics;
+};
+
+// Schema v6 goldens (v6 added cache.forced_unsafe_evictions).
+const GoldenCase kGoldens[] = {
+    {"gauss", system::PolicyKind::SNuca, 0x4357ed881e7bfbbbull,
+     0x1a92393edf4ca81full},
+    {"histo", system::PolicyKind::RNuca, 0x0d2526114e4199e4ull,
+     0x7cb836047f112f48ull},
+    {"jacobi", system::PolicyKind::TdNuca, 0x83fec03c47a751daull,
+     0x1589fc6404d3e126ull},
+};
+
+harness::RunConfig golden_config(const GoldenCase& c) {
+  harness::RunConfig cfg;
+  cfg.workload = c.workload;
+  cfg.policy = c.policy;
+  cfg.params.scale = 0.25;
+  return cfg;
+}
+
+TEST(Determinism, FingerprintGoldensV6) {
+  for (const GoldenCase& c : kGoldens) {
+    const harness::RunConfig cfg = golden_config(c);
+    EXPECT_EQ(cfg.fingerprint(), c.fingerprint)
+        << c.workload << "/" << system::to_string(c.policy) << " fingerprint 0x"
+        << std::hex << cfg.fingerprint();
+  }
+}
+
+TEST(Determinism, MetricsGoldensV6) {
+  for (const GoldenCase& c : kGoldens) {
+    const harness::RunConfig cfg = golden_config(c);
+    const harness::RunResult r =
+        harness::run_experiment(cfg, /*use_cache=*/false);
+    EXPECT_EQ(metrics_hash(r.metrics), c.metrics)
+        << c.workload << "/" << system::to_string(c.policy)
+        << " metrics hash 0x" << std::hex << metrics_hash(r.metrics)
+        << " over " << std::dec << r.metrics.size() << " keys";
+  }
+}
+
+// Two fresh in-process runs of the same config are bit-identical, key by
+// key — a sharper diagnostic than the hash when something does drift.
+TEST(Determinism, RepeatRunsBitIdentical) {
+  const harness::RunConfig cfg = golden_config(kGoldens[2]);  // TD-NUCA
+  const harness::RunResult a =
+      harness::run_experiment(cfg, /*use_cache=*/false);
+  const harness::RunResult b =
+      harness::run_experiment(cfg, /*use_cache=*/false);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [key, value] : a.metrics) {
+    const auto it = b.metrics.find(key);
+    ASSERT_NE(it, b.metrics.end()) << key;
+    EXPECT_EQ(value, it->second) << key;
+  }
+}
+
+}  // namespace
+}  // namespace tdn

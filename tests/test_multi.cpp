@@ -165,15 +165,15 @@ TEST(MultiProgram, FingerprintSeparatesColocationOptions) {
   EXPECT_NE(base.fingerprint(), other.fingerprint());
 }
 
-TEST(MultiProgram, FingerprintGoldenV5) {
-  // Golden hash of the default 2-app config under schema v5. A change here
+TEST(MultiProgram, FingerprintGoldenV6) {
+  // Golden hash of the default 2-app config under schema v6. A change here
   // means cached results are (correctly) invalidated — if that was not the
   // intent, the fingerprint composition regressed. Regenerate by printing
   // cfg.fingerprint() for this exact config.
   harness::RunConfig cfg;
   cfg.workload = "gauss+histo";
   cfg.policy = system::PolicyKind::TdNuca;
-  EXPECT_EQ(cfg.fingerprint(), 0x2fd35ec108122f12ull)
+  EXPECT_EQ(cfg.fingerprint(), 0xb95ea4d61afc4e59ull)
       << std::hex << cfg.fingerprint();
 }
 

@@ -1,9 +1,14 @@
-// Unit tests: event queue determinism and the Joiner completion helper.
+// Unit tests: event queue determinism, the pooled/inline-callable substrate
+// and the Joiner completion helper.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/joiner.hpp"
 
 using namespace tdn;
@@ -52,6 +57,113 @@ TEST(EventQueue, RunUntilThrowsOnOverrun) {
   EventQueue eq;
   eq.schedule_at(100, [] {});
   EXPECT_THROW(eq.run_until(50), RequireError);
+}
+
+TEST(EventQueue, ResumeAfterCaughtLimitOverrun) {
+  // Regression: the deadlock guard used to pop the over-limit event before
+  // throwing, so catching the overrun lost an event. The guard now peeks, so
+  // a caught overrun leaves the queue resumable with a higher limit.
+  EventQueue eq;
+  std::vector<Cycle> ran;
+  eq.schedule_at(10, [&] { ran.push_back(eq.now()); });
+  eq.schedule_at(100, [&] { ran.push_back(eq.now()); });
+  EXPECT_THROW(eq.run_until(50), RequireError);
+  EXPECT_EQ(eq.now(), 10u);
+  EXPECT_EQ(eq.executed(), 1u);
+  EXPECT_EQ(eq.pending(), 1u);
+  // Resume: the previously over-limit event must still fire.
+  EXPECT_EQ(eq.run_until(200), 100u);
+  EXPECT_EQ(ran, (std::vector<Cycle>{10, 100}));
+  EXPECT_EQ(eq.executed(), 2u);
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ThrowingActionIsConsumedButNotCounted) {
+  // An action that throws cannot be un-run, so its event is consumed (and
+  // its pool slot recycled), but it is not counted in executed(). The rest
+  // of the queue stays intact and runnable.
+  EventQueue eq;
+  bool later_ran = false;
+  eq.schedule_at(5, [] { throw std::runtime_error("boom"); });
+  eq.schedule_at(10, [&] { later_ran = true; });
+  EXPECT_THROW(eq.run(), std::runtime_error);
+  EXPECT_EQ(eq.executed(), 0u);
+  EXPECT_EQ(eq.pending(), 1u);
+  eq.run();
+  EXPECT_TRUE(later_ran);
+  EXPECT_EQ(eq.executed(), 1u);
+}
+
+TEST(EventQueue, PoolRecyclesSlotsAcrossWaves) {
+  // Thousands of sequential events must reuse a handful of pooled slots:
+  // the pool high-water mark tracks peak *pending* events, not total count.
+  EventQueue eq;
+  std::uint64_t fired = 0;
+  for (int wave = 0; wave < 100; ++wave) {
+    for (int i = 0; i < 8; ++i) {
+      eq.schedule_in(static_cast<Cycle>(i + 1), [&] { ++fired; });
+    }
+    eq.run();
+  }
+  EXPECT_EQ(fired, 800u);
+  EXPECT_EQ(eq.executed(), 800u);
+  // 8 concurrent events fit comfortably in the first 256-slot chunk.
+  EXPECT_LE(eq.pool_slots(), 256u);
+}
+
+TEST(InlineFunction, CallsAndReturnsThroughTheInlineBuffer) {
+  InlineFunction<int(int), 64> f = [](int x) { return x * 2; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(21), 42);
+}
+
+TEST(InlineFunction, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  InlineFunction<void(), 64> a = [&calls] { ++calls; };
+  InlineFunction<void(), 64> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  InlineFunction<void(), 64> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, DestroysCaptureOnResetAndDestruction) {
+  auto token = std::make_shared<int>(7);
+  {
+    InlineFunction<void(), 64> f = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    f.reset();
+    EXPECT_EQ(token.use_count(), 1);
+    f.emplace([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, HoldsMoveOnlyCaptures) {
+  auto owned = std::make_unique<int>(5);
+  InlineFunction<int(), 64> f = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(f(), 5);
+}
+
+TEST(InlineFunction, NearCapacityCaptureFitsInline) {
+  // A capture filling (almost) the whole Action budget still compiles and
+  // round-trips through the event queue — the compile-time contract that
+  // real coherence continuations rely on.
+  struct Big {
+    unsigned char bytes[kActionCapacity - 8];
+  };
+  Big big{};
+  std::memset(big.bytes, 0x5a, sizeof big.bytes);
+  unsigned char seen = 0;
+  EventQueue eq;
+  eq.schedule_at(1, [big, &seen] { seen = big.bytes[sizeof(Big::bytes) - 1]; });
+  eq.run();
+  EXPECT_EQ(seen, 0x5a);
 }
 
 TEST(EventQueue, ZeroDelaySameCycle) {

@@ -7,6 +7,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -64,6 +65,37 @@ std::vector<RunResult> sweep(const std::vector<RunConfig>& cfgs, unsigned jobs,
 }
 
 }  // namespace
+
+TEST(FormatEta, RendersCompactDurations) {
+  using harness::format_eta;
+  EXPECT_EQ(format_eta(0.0), "0s");
+  EXPECT_EQ(format_eta(400.0), "0s");        // rounds to nearest second
+  EXPECT_EQ(format_eta(59499.0), "59s");     // just under the minute cutover
+  EXPECT_EQ(format_eta(60000.0), "1m00s");
+  EXPECT_EQ(format_eta(187000.0), "3m07s");
+  EXPECT_EQ(format_eta(3600000.0), "1h00m");
+  EXPECT_EQ(format_eta(8100000.0), "2h15m");
+}
+
+TEST(FormatEta, NonFiniteAndNegativeRenderAsDashes) {
+  using harness::format_eta;
+  // Regression: a first run completing in ~0 elapsed ms used to extrapolate
+  // Inf/NaN into the progress line; a done>total miscount produced negative
+  // remaining work. All of these must render as placeholders, never feed a
+  // non-finite double into an integer cast (UB).
+  EXPECT_EQ(format_eta(std::numeric_limits<double>::quiet_NaN()), "--");
+  EXPECT_EQ(format_eta(std::numeric_limits<double>::infinity()), "--");
+  EXPECT_EQ(format_eta(-1.0), "--");
+  EXPECT_EQ(format_eta(-std::numeric_limits<double>::infinity()), "--");
+}
+
+TEST(FormatEta, ClampsBeyondNinetyNineHours) {
+  using harness::format_eta;
+  EXPECT_EQ(format_eta(99.0 * 3600.0 * 1000.0), "99h00m");
+  EXPECT_EQ(format_eta(100.0 * 3600.0 * 1000.0), ">99h");
+  EXPECT_EQ(format_eta(1e300), ">99h");
+  EXPECT_EQ(format_eta(std::numeric_limits<double>::max()), ">99h");
+}
 
 TEST(SweepRunner, ParallelIsBitIdenticalToSerial) {
   const auto cfgs = six_configs();
