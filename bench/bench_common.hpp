@@ -84,6 +84,8 @@ inline std::vector<RunResult> suite_srt() {
 ///   --epochs-json PATH     epoch time-series JSON
 ///   --heatmaps PATH        end-of-run heatmaps, aligned text
 ///   --heatmaps-json PATH   end-of-run heatmaps, JSON
+///   --latency-report PATH  tdn-obs-report-v1 JSON: latency attribution +
+///                          tail histograms + task critical path
 ///   --epoch-cycles N       sampling period in simulated cycles
 ///   --obs-workload NAME    workload to instrument (default gauss)
 ///   --obs-policy NAME      snuca | rnuca | tdnuca | bypass | dryrun
@@ -108,6 +110,7 @@ inline void obs_section(int argc, char** argv) {
     else if (a == "--epochs-json") cfg.obs.epochs_json_path = val(i);
     else if (a == "--heatmaps") cfg.obs.heatmaps_path = val(i);
     else if (a == "--heatmaps-json") cfg.obs.heatmaps_json_path = val(i);
+    else if (a == "--latency-report") cfg.obs.latency_report_path = val(i);
     else if (a == "--epoch-cycles") cfg.obs.epoch_cycles = std::strtoull(val(i).c_str(), nullptr, 10);
     else if (a == "--obs-workload") {
       cfg.workload = val(i);
@@ -175,10 +178,15 @@ inline void obs_section(int argc, char** argv) {
                     : "",
                 cfg.obs.heatmaps_json_path.c_str(), arts.heatmaps);
   }
+  if (!cfg.obs.latency_report_path.empty()) {
+    std::printf("latency:  %s  (%zu attributed accesses)\n",
+                cfg.obs.latency_report_path.c_str(),
+                arts.attributed_accesses);
+  }
   for (const std::string* p :
        {&cfg.obs.trace_path, &cfg.obs.epochs_csv_path,
         &cfg.obs.epochs_json_path, &cfg.obs.heatmaps_path,
-        &cfg.obs.heatmaps_json_path}) {
+        &cfg.obs.heatmaps_json_path, &cfg.obs.latency_report_path}) {
     if (p->empty()) continue;
     if (std::find(arts.files_written.begin(), arts.files_written.end(), *p) ==
         arts.files_written.end()) {

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Compare a bench_micro_substrate JSON report against a committed baseline.
+"""Compare a tdn-bench-* JSON report against a committed baseline.
 
 Usage:
     check_perf_regression.py --baseline bench/baselines/BENCH_substrate.json \
         --current BENCH_substrate.json [--tolerance 0.15] [--strict]
 
+Works for any report whose schema starts with ``tdn-bench-`` (substrate,
+obs, ...); baseline and current must carry the same schema.
+
 Direction is inferred from the metric name:
   * ``*_per_sec`` / ``*speedup*``  — higher is better
-  * ``ns_per_*`` / ``*wall_ms`` / ``*rss*`` — lower is better
+  * ``ns_per_*`` / ``*wall_ms`` / ``*rss*`` / ``*overhead*`` — lower is better
   * anything else — informational only (printed, never gated)
 
 A metric regresses when it is worse than baseline by more than the tolerance
@@ -29,7 +32,8 @@ def direction(name: str) -> str:
     """'higher', 'lower', or 'info' for a metric name."""
     if name.endswith("_per_sec") or "speedup" in name:
         return "higher"
-    if "ns_per_" in name or name.endswith("wall_ms") or "rss" in name:
+    if ("ns_per_" in name or name.endswith("wall_ms") or "rss" in name
+            or "overhead" in name):
         return "lower"
     return "info"
 
@@ -37,8 +41,9 @@ def direction(name: str) -> str:
 def load_doc(path: str) -> dict:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("schema") != "tdn-bench-substrate-v1":
-        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if not isinstance(schema, str) or not schema.startswith("tdn-bench-"):
+        raise SystemExit(f"{path}: unexpected schema {schema!r}")
     return doc
 
 
@@ -54,6 +59,10 @@ def main() -> int:
 
     base_doc = load_doc(args.baseline)
     cur_doc = load_doc(args.current)
+    if base_doc.get("schema") != cur_doc.get("schema"):
+        raise SystemExit(
+            f"schema mismatch: baseline {base_doc.get('schema')!r} vs "
+            f"current {cur_doc.get('schema')!r} — compare like against like")
     base, cur = base_doc["metrics"], cur_doc["metrics"]
 
     regressions, improvements, warnings = [], [], []

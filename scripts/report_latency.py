@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Pretty-print and compare tdn-obs-report-v1 latency reports.
+
+Usage:
+    report_latency.py REPORT.json [REPORT2.json ...]
+
+One report: full breakdown — component histograms (mean / p50 / p99 / p999 /
+max), per-distance latency, NoC transit, DRAM queueing, and the critical-path
+decomposition. Several reports (e.g. the same workload under snuca / rnuca /
+tdnuca): side-by-side comparison tables keyed by "workload/policy".
+
+Reports come from any bench binary via --latency-report PATH, e.g.:
+
+    bench_fig08_speedup --latency-report r_tdnuca.json --obs-policy tdnuca
+"""
+
+import json
+import sys
+
+COMPONENTS = ("mshr_wait", "noc_request", "bank_queue", "bank_service",
+              "dram", "noc_reply")
+SUMMARY_COLS = ("count", "mean", "p50", "p90", "p99", "p999", "max")
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "tdn-obs-report-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def fmt(v):
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def table(headers, rows):
+    widths = [len(h) for h in headers]
+    srows = [[fmt(c) for c in r] for r in rows]
+    for r in srows:
+        widths = [max(w, len(c)) for w, c in zip(widths, r)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines += ["  ".join(c.rjust(w) if i else c.ljust(w)
+                        for i, (c, w) in enumerate(zip(r, widths)))
+              for r in srows]
+    return "\n".join(lines)
+
+
+def summary_row(name, s):
+    return [name] + [s.get(c, 0) for c in SUMMARY_COLS]
+
+
+def print_single(doc):
+    al = doc["access_latency"]
+    print(f"== {doc['workload']} / {doc['policy']} — "
+          f"{doc['sim']['cycles']:,} cycles, {doc['sim']['events']:,} events")
+    print(f"   attributed accesses: {al['total']['count']:,} primary + "
+          f"{al['merged']['count']:,} merged (MSHR-coalesced); "
+          f"sum check: {'OK' if al['sum_check'] else 'FAILED'}")
+
+    print("\n-- access latency by component (cycles)")
+    rows = [summary_row("end_to_end", al["total"])]
+    rows += [summary_row(c, al["components"][c]) for c in COMPONENTS]
+    rows.append(summary_row("merged_wait", al["merged"]))
+    print(table(("component",) + SUMMARY_COLS, rows))
+
+    dist = [d for d in al.get("by_distance", []) if d["latency"]["count"]]
+    if dist:
+        print("\n-- end-to-end latency by core->bank hop distance")
+        print(table(("hops",) + SUMMARY_COLS,
+                    [summary_row(str(d["hops"]), d["latency"]) for d in dist]))
+
+    print("\n-- network / memory service histograms")
+    print(table(("histogram",) + SUMMARY_COLS, [
+        summary_row("noc_control_transit", doc["noc"]["control_transit"]),
+        summary_row("noc_data_transit", doc["noc"]["data_transit"]),
+        summary_row("dram_queue_delay", doc["dram"]["queue_delay"]),
+    ]))
+
+    cp = doc.get("critical_path")
+    if cp:
+        r = cp["realized"]
+        print(f"\n-- critical path: {cp['tasks_done']}/{cp['tasks_total']} "
+              f"tasks done, makespan {cp['makespan']:,} cycles")
+        print(table(("measure", "cycles", "% of makespan"), [
+            [k, r[k], 100.0 * r[k] / max(cp["makespan"], 1)]
+            for k in ("dep_wait", "runtime_overhead", "compute",
+                      "memory_stall")
+        ]))
+        print(f"   realized path: {r['tasks']} tasks, {r['cycles']:,} cycles"
+              f" (tdnuca hooks: {r['tdnuca_hook_cycles']:,})")
+        print(f"   inherent path: {cp['inherent_cycles']:,} cycles "
+              f"(longest task {cp['longest_task']:,}) — ideal speedup limit "
+              f"{cp['makespan'] / max(cp['inherent_cycles'], 1):.2f}x")
+
+
+def print_compare(docs):
+    key = lambda d: f"{d['workload']}/{d['policy']}"
+    print("== latency comparison:", ", ".join(key(d) for d in docs))
+
+    print("\n-- end-to-end miss latency (cycles)")
+    print(table(("run", "count", "mean", "p50", "p99", "p999", "max"),
+                [[key(d)] + [d["access_latency"]["total"].get(c, 0)
+                             for c in ("count", "mean", "p50", "p99", "p999",
+                                       "max")]
+                 for d in docs]))
+
+    print("\n-- mean cycles per component")
+    print(table(("run",) + COMPONENTS,
+                [[key(d)] + [d["access_latency"]["components"][c]["mean"]
+                             for c in COMPONENTS]
+                 for d in docs]))
+
+    if all(d.get("critical_path") for d in docs):
+        print("\n-- critical-path decomposition (cycles)")
+        print(table(("run", "makespan", "dep_wait", "overhead", "compute",
+                     "mem_stall", "inherent"),
+                    [[key(d), d["critical_path"]["makespan"]] +
+                     [d["critical_path"]["realized"][k]
+                      for k in ("dep_wait", "runtime_overhead", "compute",
+                                "memory_stall")] +
+                     [d["critical_path"]["inherent_cycles"]]
+                     for d in docs]))
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    docs = [load(p) for p in sys.argv[1:]]
+    bad = [d for d in docs if not d["access_latency"]["sum_check"]]
+    if len(docs) == 1:
+        print_single(docs[0])
+    else:
+        print_compare(docs)
+    if bad:
+        print("\nWARNING: component sums do not match end-to-end latency in: "
+              + ", ".join(f"{d['workload']}/{d['policy']}" for d in bad),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

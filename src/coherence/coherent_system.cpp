@@ -14,7 +14,8 @@ CoherentSystem::CoherentSystem(sim::EventQueue& eq, noc::Network& net,
                                nuca::MappingPolicy& policy, HierarchyConfig cfg,
                                unsigned num_cores, obs::Recorder* rec)
     : eq_(eq), net_(net), mesh_(mesh), mcs_(mcs), policy_(policy), cfg_(cfg),
-      num_cores_(num_cores), rec_(rec) {
+      num_cores_(num_cores), rec_(rec),
+      attr_(rec != nullptr ? rec->attribution() : nullptr) {
   TDN_REQUIRE(num_cores_ > 0 && num_cores_ <= mesh.tiles(),
               "core count must fit the mesh");
   // Skip the bank-interleave bits when indexing sets inside a bank; see
@@ -151,6 +152,7 @@ void CoherentSystem::start_miss(CoreId core, Addr vaddr, Addr line,
                 done = std::move(done)]() mutable {
     // Note: `line` recomputes identically as paddr (it is line-aligned).
     // The replay is the same demand access: it must not re-count stats.
+    if (attr_ != nullptr) attr_->on_complete(core, line, issued_at, eq_.now());
     stats_.miss_latency.add(static_cast<double>(eq_.now() - issued_at));
     access_internal(core, vaddr, line, kind, std::move(done),
                     /*replay=*/true);
@@ -182,15 +184,20 @@ void CoherentSystem::register_miss_or_retry(CoreId core, Addr vaddr, Addr line,
 }
 
 void CoherentSystem::launch_transaction(CoreId core, Addr vaddr, Addr line,
-                                        AccessKind kind, Cycle /*issued_at*/) {
+                                        AccessKind kind, Cycle issued_at) {
   const nuca::MapDecision d = policy_.map(core, vaddr, line, kind);
   const Cycle send_at = eq_.now() + cfg_.l1_latency + d.lookup_latency;
   if (d.kind == nuca::MapDecision::Kind::Bypass) {
+    if (attr_ != nullptr)
+      attr_->on_launch(core, line, issued_at, send_at,
+                       mesh_.hops(core, mcs_.tile_of(mcs_.index_for(line))));
     eq_.schedule_at(send_at,
                     [this, core, line, kind] { bypass_fetch(core, line, kind, eq_.now()); });
     return;
   }
   stats_.nuca_distance.add(static_cast<double>(mesh_.hops(core, d.bank)));
+  if (attr_ != nullptr)
+    attr_->on_launch(core, line, issued_at, send_at, mesh_.hops(core, d.bank));
   eq_.schedule_at(send_at, [this, core, line, kind, bank = d.bank] {
     net_.send(core, bank, MsgClass::Control,
               [this, bank, core, line, kind] { bank_request(bank, core, line, kind); });
@@ -204,6 +211,7 @@ void CoherentSystem::launch_transaction(CoreId core, Addr vaddr, Addr line,
 void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
                                   AccessKind kind) {
   Bank& b = banks_[bank];
+  if (attr_ != nullptr) attr_->on_bank_arrival(requester, line, eq_.now());
   auto process = [this, bank, requester, line, kind] {
     if (health_ != nullptr && !health_->bank_ok(bank)) {
       // The home bank died while this request was queued/in flight: bounce
@@ -225,6 +233,8 @@ void CoherentSystem::bank_request(BankId bank, CoreId requester, Addr line,
       bb.last_app = app;
     }
     bb.next_free = start + interval;
+    if (attr_ != nullptr)
+      attr_->on_service_start(requester, line, start, start + cfg_.llc_latency);
     eq_.schedule_at(start + cfg_.llc_latency, [this, bank, requester, line, kind] {
       stats_.llc_requests.inc();
       ++banks_[bank].counters.requests;
@@ -383,6 +393,7 @@ void CoherentSystem::bank_fetch_from_memory(BankId bank, CoreId requester,
     const Cycle ready = mcs_.mc(mc).request(eq_.now(), AccessKind::Read);
     eq_.schedule_at(ready, [this, bank, requester, line, kind, mc_tile] {
       net_.send(mc_tile, bank, MsgClass::Data, [this, bank, requester, line, kind] {
+        if (attr_ != nullptr) attr_->on_memory_data(requester, line, eq_.now());
         if (health_ != nullptr && !health_->bank_ok(bank)) {
           // The bank died while the fill was in flight: the data cannot be
           // installed; restart the transaction at the healthy-set home.
@@ -567,8 +578,14 @@ void CoherentSystem::bypass_fetch(CoreId core, Addr line, AccessKind kind,
   const unsigned mc = mcs_.index_for(line);
   const CoreId mc_tile = mcs_.tile_of(mc);
   net_.send(core, mc_tile, MsgClass::Control, [this, core, line, kind, mc, mc_tile] {
+    // Attribution stamps for bypasses reuse the bank slots: arrival at the
+    // MC plays the bank-arrival role and the data-ready cycle the
+    // memory-data one, so bank queue/service decompose to zero and the MC
+    // round trip lands in the dram component.
+    if (attr_ != nullptr) attr_->on_bank_arrival(core, line, eq_.now());
     const Cycle ready = mcs_.mc(mc).request(eq_.now(), AccessKind::Read);
     eq_.schedule_at(ready, [this, core, line, kind, mc_tile] {
+      if (attr_ != nullptr) attr_->on_memory_data(core, line, eq_.now());
       net_.send(mc_tile, core, MsgClass::Data, [this, core, line, kind] {
         // Bypassed lines are exclusive by runtime discipline (the paper's
         // eager end-of-task flushes), so install in M; dirty only if written.

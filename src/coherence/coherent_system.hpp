@@ -42,6 +42,7 @@
 
 namespace tdn::obs {
 class Recorder;
+class LatencyAttribution;
 }
 
 namespace tdn::coherence {
@@ -280,6 +281,9 @@ class CoherentSystem final : public nuca::CacheOps {
   HierarchyConfig cfg_;
   unsigned num_cores_;
   obs::Recorder* rec_;
+  /// Latency-attribution sink; null unless the recorder enables it. Stamp
+  /// sites are single null tests and never alter timing (docs §attribution).
+  obs::LatencyAttribution* attr_;
   const fault::HealthState* health_ = nullptr;
 
   static constexpr std::uint8_t kNoApp = 0xff;

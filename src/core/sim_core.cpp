@@ -19,6 +19,7 @@ void SimCore::execute(const TaskProgram& prog, std::function<void()> done) {
   stream_exhausted_ = false;
   stalled_on_store_buffer_ = false;
   task_start_ = eq_.now();
+  task_ideal_ = 0;
   step();
 }
 
@@ -38,6 +39,12 @@ void SimCore::step() {
   const Cycle tlb_lat = tlb_.access(op.vaddr);
   const Addr paddr = pt_.translate(op.vaddr);
   const Cycle issue_at = eq_.now() + op.compute + tlb_lat;
+  // Ideal-timeline accounting (obs critical path): the cycles this op costs
+  // with every access an L1 hit. Pure arithmetic — never feeds back into
+  // the simulated timing.
+  task_ideal_ += op.compute + tlb_lat +
+                 (op.kind == AccessKind::Read ? cfg_.load_issue_cost
+                                              : cfg_.store_issue_cost);
 
   if (op.kind == AccessKind::Read) {
     loads_.inc();

@@ -68,6 +68,11 @@ class SimCore {
   std::uint64_t stores() const noexcept { return stores_.value(); }
   Cycle busy_cycles() const noexcept { return busy_cycles_; }
   Cycle task_cycles() const noexcept { return task_cycles_; }
+  /// Ideal (stall-free) cycles of the most recently executed program:
+  /// per-touch compute + TLB + issue costs, with every memory access an L1
+  /// hit. The obs critical-path analysis splits the executed span into this
+  /// plus memory stall. Valid after execute()'s done callback fires.
+  Cycle task_ideal_cycles() const noexcept { return task_ideal_; }
   std::uint64_t store_buffer_stalls() const noexcept {
     return sb_stalls_.value();
   }
@@ -102,6 +107,7 @@ class SimCore {
   std::function<void()> resume_store_;
   std::function<void()> resume_load_;
   Cycle task_start_ = 0;
+  Cycle task_ideal_ = 0;
 
   stats::Counter loads_;
   stats::Counter stores_;

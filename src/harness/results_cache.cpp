@@ -10,6 +10,40 @@
 
 namespace tdn::harness {
 
+bool atomic_write_file(const std::string& path, const std::string& content) {
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  std::error_code ec;
+  if (!p.parent_path().empty()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) return false;
+  }
+  // Unique temp name per (process, call): concurrent writers of the same
+  // path each publish a complete file and the last rename wins.
+  static std::atomic<unsigned> seq{0};
+  std::ostringstream tmp_name;
+  tmp_name << p.filename().string() << ".tmp." << ::getpid() << "."
+           << seq.fetch_add(1, std::memory_order_relaxed);
+  const fs::path tmp = p.parent_path() / tmp_name.str();
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return false;
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, p, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
 std::string ResultsCache::directory() {
   if (const char* d = std::getenv("TDN_CACHE_DIR")) return d;
   return "/tmp/tdnuca_cache";
@@ -52,36 +86,15 @@ std::optional<std::map<std::string, double>> ResultsCache::load(
 void ResultsCache::store(const std::string& key,
                          const std::map<std::string, double>& metrics) {
   if (!enabled()) return;
-  std::error_code ec;
-  std::filesystem::create_directories(directory(), ec);
-  if (ec) return;  // cache is best-effort
   const std::filesystem::path p =
       std::filesystem::path(directory()) / (key + ".csv");
-  // Write to a uniquely named temp file in the same directory, then
-  // atomically rename over the final path: a concurrent reader sees either
-  // the old complete file or the new complete file, never a torn one, and
-  // concurrent writers of the same key each publish a complete file (last
-  // rename wins — both wrote identical bytes, simulations being
-  // deterministic).
-  static std::atomic<unsigned> seq{0};
-  std::ostringstream tmp_name;
-  tmp_name << p.filename().string() << ".tmp." << ::getpid() << "."
-           << seq.fetch_add(1, std::memory_order_relaxed);
-  const std::filesystem::path tmp = p.parent_path() / tmp_name.str();
-  {
-    std::ofstream out(tmp);
-    if (!out) return;
-    out.precision(17);
-    for (const auto& [k, v] : metrics) out << k << "," << v << "\n";
-    out.flush();
-    if (!out) {
-      out.close();
-      std::filesystem::remove(tmp, ec);
-      return;
-    }
-  }
-  std::filesystem::rename(tmp, p, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  // Publication is atomic (see atomic_write_file): concurrent writers of the
+  // same key each publish a complete file, last rename wins — both wrote
+  // identical bytes, simulations being deterministic.
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [k, v] : metrics) out << k << "," << v << "\n";
+  atomic_write_file(p.string(), out.str());
 }
 
 }  // namespace tdn::harness

@@ -6,11 +6,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/jsonfmt.hpp"
 #include "common/prng.hpp"
 #include "common/require.hpp"
 #include "harness/results_cache.hpp"
 #include "harness/sweep_runner.hpp"
 #include "multi/multi_system.hpp"
+#include "obs/critical_path.hpp"
 
 namespace tdn::harness {
 
@@ -97,6 +99,7 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
   rc.epochs = !epochs_csv_path.empty() || !epochs_json_path.empty();
   rc.heatmaps = !heatmaps_path.empty() || !heatmaps_json_path.empty();
   rc.trace_coherence = trace_coherence;
+  rc.attribution = !latency_report_path.empty();
   rc.epoch_cycles = epoch_cycles;
   return rc;
 }
@@ -160,7 +163,11 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
 
   obs::Recorder rec(cfg.obs.recorder_config());
 
-  auto emit_artifacts = [&] {
+  // Runs after metric collection (the report embeds sim.cycles/sim.events).
+  // @p tasks is the runtime's executed task table for critical-path
+  // analysis, or null for multiprogram mixes (each app has its own DAG; the
+  // shared-machine report carries attribution only).
+  auto emit_artifacts = [&](const std::vector<runtime::Task>* tasks) {
     if (!obs_active) return;
     ObsArtifacts arts;
     arts.trace_events = rec.trace_events();
@@ -176,6 +183,28 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
     emit(cfg.obs.epochs_json_path, rec.epochs_json());
     emit(cfg.obs.heatmaps_path, rec.heatmaps_text());
     emit(cfg.obs.heatmaps_json_path, rec.heatmaps_json());
+    if (!cfg.obs.latency_report_path.empty() &&
+        rec.attribution() != nullptr) {
+      const obs::LatencyAttribution& attr = *rec.attribution();
+      arts.attributed_accesses = static_cast<std::size_t>(
+          attr.total().count() + attr.merged().count());
+      std::ostringstream os;
+      os << "{\"schema\":\"tdn-obs-report-v1\",\"workload\":\""
+         << json_escape(cfg.workload) << "\",\"policy\":\""
+         << json_escape(result.policy) << "\",\"sim\":{\"cycles\":"
+         << static_cast<std::uint64_t>(result.metrics.at("sim.cycles"))
+         << ",\"events\":"
+         << static_cast<std::uint64_t>(result.metrics.at("sim.events"))
+         << "}," << attr.report_json() << ",\"critical_path\":";
+      if (tasks != nullptr) {
+        os << obs::analyze_critical_path(*tasks).report_json();
+      } else {
+        os << "null";
+      }
+      os << "}\n";
+      if (atomic_write_file(cfg.obs.latency_report_path, os.str()))
+        arts.files_written.push_back(cfg.obs.latency_report_path);
+    }
     if (artifacts != nullptr) *artifacts = std::move(arts);
   };
 
@@ -188,16 +217,16 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
                                    obs_active ? &rec : nullptr);
     msys.build(cfg.params);
     msys.run();
-    emit_artifacts();
     result.metrics = msys.collect_stats().all();
+    emit_artifacts(nullptr);
   } else {
     system::TiledSystem sys(sys_cfg, obs_active ? &rec : nullptr);
     auto wl = workloads::make_workload(cfg.workload, cfg.params);
     wl->build(sys);
     sys.run();
-    emit_artifacts();
 
     result.metrics = sys.collect_stats().all();
+    emit_artifacts(&sys.runtime().tasks());
     const auto& ws = wl->stats();
     result.metrics["workload.input_bytes"] =
         static_cast<double>(ws.input_bytes);

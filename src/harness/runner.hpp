@@ -27,13 +27,17 @@ struct ObsOptions {
   std::string epochs_json_path;   ///< epoch time-series, JSON
   std::string heatmaps_path;      ///< end-of-run heatmaps, aligned text
   std::string heatmaps_json_path; ///< end-of-run heatmaps, JSON
+  /// tdn-obs-report-v1 JSON: latency attribution histograms + task
+  /// critical-path analysis (docs/observability.md). Written atomically
+  /// (harness::atomic_write_file), so a watcher never reads a torn report.
+  std::string latency_report_path;
   Cycle epoch_cycles = 10'000;
   bool trace_coherence = false;   ///< per-transaction instants (high volume)
 
   bool any() const noexcept {
     return !trace_path.empty() || !epochs_csv_path.empty() ||
            !epochs_json_path.empty() || !heatmaps_path.empty() ||
-           !heatmaps_json_path.empty();
+           !heatmaps_json_path.empty() || !latency_report_path.empty();
   }
   obs::RecorderConfig recorder_config() const;
 };
@@ -44,6 +48,9 @@ struct ObsArtifacts {
   std::size_t epoch_rows = 0;
   std::size_t epoch_series = 0;
   std::size_t heatmaps = 0;
+  /// Accesses finalized by the latency-attribution sink (primary + merged
+  /// misses); zero unless a latency report was requested.
+  std::size_t attributed_accesses = 0;
   std::vector<std::string> files_written;
 };
 

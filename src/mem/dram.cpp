@@ -9,6 +9,7 @@ Cycle MemController::request(Cycle arrival, AccessKind kind) {
   else writes_.inc();
   const Cycle start = arrival > next_free_ ? arrival : next_free_;
   queue_delay_.add(static_cast<double>(start - arrival));
+  if (queue_sink_ != nullptr) queue_sink_->add(start - arrival);
   next_free_ = start + cfg_.service_interval;
   return start + cfg_.access_latency;
 }

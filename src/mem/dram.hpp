@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/latency_histogram.hpp"
 #include "stats/counters.hpp"
 
 namespace tdn::mem {
@@ -43,9 +44,16 @@ class MemController {
     if (until > next_free_) next_free_ = until;
   }
 
+  /// Attach a queue-delay histogram sink (obs latency attribution; shared
+  /// across controllers). Null (the default) costs one pointer test.
+  void set_queue_sink(obs::LatencyHistogram* sink) noexcept {
+    queue_sink_ = sink;
+  }
+
  private:
   DramConfig cfg_;
   Cycle next_free_ = 0;
+  obs::LatencyHistogram* queue_sink_ = nullptr;
   stats::Counter reads_;
   stats::Counter writes_;
   stats::Sampled queue_delay_;

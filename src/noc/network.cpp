@@ -140,6 +140,8 @@ void Network::send_attempt(CoreId src, CoreId dst, MsgClass cls,
     t = depart + cfg_.router_latency + cfg_.link_latency;
   }
   latency_.add(static_cast<double>(t - start));
+  if (auto* sink = transit_sinks_[static_cast<unsigned>(cls) & 1])
+    sink->add(t - start);
   if (t == start) {
     // Local delivery in the same cycle would re-enter the caller's stack;
     // defer by zero cycles through the queue to keep ordering uniform.

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "fault/health.hpp"
 #include "noc/mesh.hpp"
+#include "obs/latency_histogram.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/counters.hpp"
 
@@ -57,6 +58,14 @@ class Network {
   /// Attach the shared resource-health view. Null (the default) keeps
   /// routing on the plain XY path with no per-link checks.
   void set_health(const fault::HealthState* health) { health_ = health; }
+
+  /// Attach per-class transit-latency histogram sinks (obs latency
+  /// attribution). Null sinks (the default) cost one pointer test per send.
+  void set_transit_sinks(obs::LatencyHistogram* control,
+                         obs::LatencyHistogram* data) noexcept {
+    transit_sinks_[0] = control;
+    transit_sinks_[1] = data;
+  }
 
   unsigned bytes_of(MsgClass cls) const noexcept {
     return cls == MsgClass::Control ? cfg_.control_bytes : cfg_.data_bytes;
@@ -111,6 +120,7 @@ class Network {
   sim::EventQueue& eq_;
   NetworkConfig cfg_;
   const fault::HealthState* health_ = nullptr;
+  std::array<obs::LatencyHistogram*, 2> transit_sinks_{};  ///< [Control, Data]
   std::vector<std::array<Link, 4>> links_;
   std::vector<std::array<std::uint64_t, kLinkDirs>> link_bytes_;
   std::vector<std::uint64_t> per_router_bytes_;

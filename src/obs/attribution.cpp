@@ -1,0 +1,99 @@
+#include "obs/attribution.hpp"
+
+#include <sstream>
+
+namespace tdn::obs {
+
+void LatencyAttribution::on_launch(CoreId core, Addr line, Cycle issued_at,
+                                   Cycle sent_at, unsigned hops) {
+  Inflight& r = inflight_[key(core, line)];
+  r = Inflight{};
+  r.t_issue = issued_at;
+  r.t_sent = sent_at;
+  r.hops = hops;
+}
+
+void LatencyAttribution::on_bank_arrival(CoreId core, Addr line, Cycle now) {
+  auto it = inflight_.find(key(core, line));
+  if (it != inflight_.end()) it->second.t_bank = now;
+}
+
+void LatencyAttribution::on_service_start(CoreId core, Addr line, Cycle start,
+                                          Cycle probe_at) {
+  auto it = inflight_.find(key(core, line));
+  if (it == inflight_.end()) return;
+  it->second.t_svc = start;
+  it->second.t_probe = probe_at;
+}
+
+void LatencyAttribution::on_memory_data(CoreId core, Addr line, Cycle now) {
+  auto it = inflight_.find(key(core, line));
+  if (it != inflight_.end()) it->second.t_mem = now;
+}
+
+void LatencyAttribution::on_complete(CoreId core, Addr line, Cycle issued_at,
+                                     Cycle now) {
+  auto it = inflight_.find(key(core, line));
+  if (it == inflight_.end()) {
+    // MSHR-merged miss: it never launched a transaction of its own, so the
+    // whole latency is time spent coalesced behind the primary.
+    merged_.add(now - issued_at);
+    return;
+  }
+  const Inflight r = it->second;
+  inflight_.erase(it);
+
+  // Telescoping clamped differences: prev only moves forward, every
+  // component is >= 0, and the six components sum to exactly (now - issue).
+  // Stamps a transaction flavour never touched stay 0 and contribute 0.
+  Cycle prev = issued_at;
+  std::array<Cycle, kComponents> comp{};
+  auto seg = [&prev](Cycle t) -> Cycle {
+    if (t <= prev) return 0;
+    const Cycle d = t - prev;
+    prev = t;
+    return d;
+  };
+  comp[0] = seg(r.t_sent);   // MshrWait
+  comp[1] = seg(r.t_bank);   // NocRequest
+  comp[2] = seg(r.t_svc);    // BankQueue
+  comp[3] = seg(r.t_probe);  // BankService
+  comp[4] = seg(r.t_mem);    // Dram
+  comp[5] = now > prev ? now - prev : 0;  // NocReply (remainder)
+
+  for (unsigned i = 0; i < kComponents; ++i) components_[i].add(comp[i]);
+  const Cycle total = now - issued_at;
+  total_.add(total);
+  by_distance_[r.hops > kMaxDistance ? kMaxDistance : r.hops].add(total);
+}
+
+std::string LatencyAttribution::report_json() const {
+  std::ostringstream os;
+  os << "\"access_latency\":{\"total\":" << total_.summary_json()
+     << ",\"merged\":" << merged_.summary_json() << ",\"components\":{";
+  for (unsigned i = 0; i < kComponents; ++i) {
+    os << (i ? "," : "")
+       << '"' << to_string(static_cast<LatencyComponent>(i)) << "\":"
+       << components_[i].summary_json();
+  }
+  os << "},\"component_sum\":";
+  Cycle comp_sum = 0;
+  for (const LatencyHistogram& h : components_) comp_sum += h.sum();
+  os << comp_sum << ",\"sum_check\":"
+     << (comp_sum == total_.sum() ? "true" : "false")
+     << ",\"unattributed_inflight\":" << inflight_.size()
+     << ",\"by_distance\":[";
+  bool first = true;
+  for (unsigned d = 0; d <= kMaxDistance; ++d) {
+    if (by_distance_[d].count() == 0) continue;
+    os << (first ? "" : ",") << "{\"hops\":" << d
+       << ",\"latency\":" << by_distance_[d].summary_json() << "}";
+    first = false;
+  }
+  os << "]},\"noc\":{\"control_transit\":" << noc_transit_[0].summary_json()
+     << ",\"data_transit\":" << noc_transit_[1].summary_json()
+     << "},\"dram\":{\"queue_delay\":" << dram_queue_.summary_json() << "}";
+  return os.str();
+}
+
+}  // namespace tdn::obs

@@ -1,0 +1,106 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tdn::obs {
+
+namespace {
+
+using runtime::Task;
+using runtime::TaskState;
+
+Cycle duration(const Task& t) { return t.finished_at - t.started_at; }
+
+/// Latest-finishing completed predecessor of @p t (ties broken toward the
+/// lowest id for determinism); nullptr when t has none.
+const Task* latest_pred(const std::vector<Task>& tasks, const Task& t) {
+  const Task* best = nullptr;
+  for (const TaskId p : t.predecessors) {
+    if (p >= tasks.size()) continue;
+    const Task& pt = tasks[p];
+    if (pt.state != TaskState::Done) continue;
+    if (best == nullptr || pt.finished_at > best->finished_at ||
+        (pt.finished_at == best->finished_at && pt.id < best->id))
+      best = &pt;
+  }
+  return best;
+}
+
+}  // namespace
+
+CriticalPathReport analyze_critical_path(const std::vector<Task>& tasks) {
+  CriticalPathReport r;
+  r.tasks_total = tasks.size();
+
+  const Task* sink = nullptr;
+  for (const Task& t : tasks) {
+    if (t.state != TaskState::Done) continue;
+    ++r.tasks_done;
+    r.makespan = std::max(r.makespan, t.finished_at);
+    r.longest_task = std::max(r.longest_task, duration(t));
+    if (sink == nullptr || t.finished_at > sink->finished_at) sink = &t;
+  }
+  if (sink == nullptr) return r;  // nothing ran to completion
+
+  // Realized path: backward walk from the sink through the latest-finishing
+  // predecessor. Segment cycles telescope: each task contributes the gap
+  // from its critical predecessor's finish to its own finish, so the
+  // decomposition sums to the sink's finish time exactly.
+  for (const Task* t = sink; t != nullptr;) {
+    r.path.push_back(t->id);
+    const Task* pred = latest_pred(tasks, *t);
+    const Cycle from = pred != nullptr ? pred->finished_at : 0;
+    // started_at >= pred.finished_at by the dependency rule; the clamp only
+    // guards the synthetic from=0 start of the chain.
+    r.dep_wait += t->started_at > from ? t->started_at - from : 0;
+    // Clamp the exec stamps into [started_at, finished_at]: a task that was
+    // never stamped (all-zero exec window) degrades to pure overhead rather
+    // than underflowing.
+    const Cycle es = std::max(t->exec_started_at, t->started_at);
+    const Cycle ef = std::min(std::max(t->exec_finished_at, es),
+                              t->finished_at);
+    r.runtime_overhead += (es - t->started_at) + (t->finished_at - ef);
+    const Cycle span = ef - es;
+    const Cycle ideal = std::min(t->compute_cycles, span);
+    r.compute += ideal;
+    r.memory_stall += span - ideal;
+    r.hook_cycles += t->hook_cycles;
+    t = pred;
+  }
+  std::reverse(r.path.begin(), r.path.end());
+  r.realized_cycles = r.dep_wait + r.runtime_overhead + r.compute +
+                      r.memory_stall;
+
+  // Inherent path: DP over the DAG for the longest chain of task durations.
+  // Task ids are topological (a dependency always points at an earlier
+  // creation), so one forward sweep suffices.
+  std::vector<Cycle> longest(tasks.size(), 0);
+  for (const Task& t : tasks) {
+    if (t.state != TaskState::Done) continue;
+    Cycle best = 0;
+    for (const TaskId p : t.predecessors) {
+      if (p < t.id) best = std::max(best, longest[p]);
+    }
+    longest[t.id] = best + duration(t);
+    r.inherent_cycles = std::max(r.inherent_cycles, longest[t.id]);
+  }
+  return r;
+}
+
+std::string CriticalPathReport::report_json() const {
+  std::ostringstream os;
+  os << "{\"tasks_total\":" << tasks_total << ",\"tasks_done\":" << tasks_done
+     << ",\"makespan\":" << makespan << ",\"longest_task\":" << longest_task
+     << ",\"realized\":{\"cycles\":" << realized_cycles
+     << ",\"tasks\":" << path.size() << ",\"dep_wait\":" << dep_wait
+     << ",\"runtime_overhead\":" << runtime_overhead
+     << ",\"compute\":" << compute << ",\"memory_stall\":" << memory_stall
+     << ",\"tdnuca_hook_cycles\":" << hook_cycles << ",\"path\":[";
+  for (std::size_t i = 0; i < path.size(); ++i)
+    os << (i ? "," : "") << path[i];
+  os << "]},\"inherent_cycles\":" << inherent_cycles << "}";
+  return os.str();
+}
+
+}  // namespace tdn::obs

@@ -1,0 +1,55 @@
+// Critical-path analysis over the executed task DAG.
+//
+// Reconstructs the dependency graph the runtime actually executed (from the
+// per-task timestamps RuntimeSystem and SimCore stamp) and reports two
+// measures:
+//
+//  * realized path — the backward walk from the last-finishing task through
+//    its latest-finishing predecessor. Its cycles telescope to the makespan
+//    and decompose into dependency wait, runtime overhead (dispatch +
+//    before/after hooks), ideal compute, and memory stall — the "where did
+//    the makespan go" answer for one policy.
+//  * inherent path — the longest chain of task *durations* through the DAG
+//    (what the schedule could not have avoided with infinite cores). Always
+//    >= the longest single task and <= the makespan.
+//
+// Pure post-processing: runs once after the simulation drains and never
+// touches simulation state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/task.hpp"
+
+namespace tdn::obs {
+
+struct CriticalPathReport {
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_done = 0;
+  Cycle makespan = 0;       ///< max finished_at over completed tasks
+  Cycle longest_task = 0;   ///< max single-task duration (started->finished)
+
+  // --- realized path ----------------------------------------------------
+  std::vector<TaskId> path;     ///< source -> sink task ids
+  Cycle realized_cycles = 0;    ///< == makespan when the graph completed
+  Cycle dep_wait = 0;           ///< waiting on predecessors / phase barriers
+  Cycle runtime_overhead = 0;   ///< dispatch + before/after task hooks
+  Cycle compute = 0;            ///< ideal (stall-free) execution cycles
+  Cycle memory_stall = 0;       ///< execution cycles lost to the memory system
+  Cycle hook_cycles = 0;        ///< TD-NUCA ISA hook cycles on the path
+
+  // --- inherent path ----------------------------------------------------
+  Cycle inherent_cycles = 0;    ///< longest duration chain through the DAG
+
+  /// The `critical_path` object of the tdn-obs-report-v1 document.
+  std::string report_json() const;
+};
+
+/// Analyze @p tasks (the runtime's task table after a run). Tasks that never
+/// completed (fault-degraded runs) are excluded from both measures.
+CriticalPathReport analyze_critical_path(
+    const std::vector<runtime::Task>& tasks);
+
+}  // namespace tdn::obs

@@ -1,0 +1,138 @@
+// LatencyHistogram — deterministic log-bucketed (HDR-style) latency
+// histogram with fixed inline storage.
+//
+// Bucket layout: values below 16 get exact unit buckets; above that, each
+// power-of-two octave is split into 16 linear sub-buckets, so the relative
+// quantization error is bounded by 1/16 (6.25%) at any magnitude. Storage is
+// a fixed std::array (~3.6 KiB) — recording a sample is a handful of integer
+// ops and one increment, never a heap allocation, per the PR 5 substrate
+// rules for hot-path instrumentation.
+//
+// Percentiles are reported as the lower bound of the covering bucket, which
+// makes them exactly reproducible across runs and platforms (no
+// interpolation, no floating-point accumulation on the hot path).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tdn::obs {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSub = 1u << kSubBits;
+  /// Values are clamped here (~10^9 cycles — far beyond any single access).
+  static constexpr Cycle kMaxValue = Cycle{1} << 30;
+  /// Unit buckets [0,16) + 27 octaves ([16,32) .. [2^30, 2^31)) * 16.
+  static constexpr std::size_t kBuckets = kSub + (30 - kSubBits + 1) * kSub;
+
+  /// Bucket index of @p v (after clamping to kMaxValue).
+  static constexpr std::size_t index(Cycle v) noexcept {
+    if (v > kMaxValue) v = kMaxValue;
+    if (v < kSub) return static_cast<std::size_t>(v);
+    unsigned msb = 0;
+    for (Cycle t = v; t > 1; t >>= 1) ++msb;
+    const unsigned shift = msb - kSubBits;
+    const std::size_t sub = static_cast<std::size_t>((v >> shift) & (kSub - 1));
+    return (msb - kSubBits + 1) * kSub + sub;
+  }
+
+  /// Smallest value that maps to bucket @p idx (inverse of index()).
+  static constexpr Cycle bucket_floor(std::size_t idx) noexcept {
+    if (idx < kSub) return static_cast<Cycle>(idx);
+    const std::size_t group = idx / kSub;  // >= 1
+    const std::size_t sub = idx % kSub;
+    const unsigned msb = static_cast<unsigned>(group) + kSubBits - 1;
+    return (Cycle{kSub} + sub) << (msb - kSubBits);
+  }
+
+  void add(Cycle v) noexcept {
+    ++counts_[index(v)];
+    ++count_;
+    sum_ += v > kMaxValue ? kMaxValue : v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatencyHistogram& o) noexcept {
+    if (o.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  Cycle sum() const noexcept { return sum_; }
+  Cycle min() const noexcept { return count_ ? min_ : 0; }
+  Cycle max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Lower bound of the bucket holding the q-quantile sample (0 < q <= 1);
+  /// 0 on an empty histogram. Exact values survive for v < 16 (unit
+  /// buckets); larger values are under-reported by at most 6.25%.
+  Cycle percentile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the quantile sample, 1-based, ceil(q * count) clamped to
+    // [1, count]. Integer arithmetic keeps the walk deterministic.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.999999);
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return bucket_floor(i);
+    }
+    return bucket_floor(kBuckets - 1);
+  }
+
+  /// `{"count":..,"sum":..,"mean":..,"min":..,"p50":..,"p90":..,"p99":..,
+  ///   "p999":..,"max":..}` — the summary every report section uses.
+  std::string summary_json() const {
+    std::ostringstream os;
+    os << "{\"count\":" << count_ << ",\"sum\":" << sum_;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", mean());
+    os << ",\"mean\":" << buf << ",\"min\":" << min()
+       << ",\"p50\":" << percentile(0.50) << ",\"p90\":" << percentile(0.90)
+       << ",\"p99\":" << percentile(0.99) << ",\"p999\":" << percentile(0.999)
+       << ",\"max\":" << max_ << "}";
+    return os.str();
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  Cycle sum_ = 0;
+  Cycle min_ = 0;
+  Cycle max_ = 0;
+};
+
+// Bucket-boundary sanity: the linear range hands over to the first octave
+// without a gap, and every octave starts where the previous one ended.
+static_assert(LatencyHistogram::index(15) == 15);
+static_assert(LatencyHistogram::index(16) == 16);
+static_assert(LatencyHistogram::bucket_floor(16) == 16);
+static_assert(LatencyHistogram::index(31) == 31);
+static_assert(LatencyHistogram::index(32) == 32);
+static_assert(LatencyHistogram::bucket_floor(32) == 32);
+static_assert(LatencyHistogram::bucket_floor(LatencyHistogram::index(1000)) <=
+              1000);
+static_assert(LatencyHistogram::index(LatencyHistogram::kMaxValue) <
+              LatencyHistogram::kBuckets);
+
+}  // namespace tdn::obs

@@ -14,6 +14,7 @@ namespace tdn::obs {
 
 Recorder::Recorder(RecorderConfig cfg) : cfg_(cfg) {
   TDN_REQUIRE(cfg_.epoch_cycles > 0, "epoch length must be positive");
+  if (cfg_.attribution) attr_ = std::make_unique<LatencyAttribution>();
 }
 
 Cycle Recorder::now() const noexcept { return eq_ != nullptr ? eq_->now() : 0; }
@@ -37,31 +38,58 @@ void Recorder::instant(std::uint32_t tid, const char* cat, std::string name,
       TraceEvent{now(), 0, tid, 'i', std::move(name), cat, std::move(args)});
 }
 
-void Recorder::add_series(std::string name, std::function<double()> probe) {
+void Recorder::add_series(std::string name, SeriesProbe probe) {
   if (!cfg_.epochs) return;
   series_.push_back(Series{std::move(name), std::move(probe)});
 }
 
 void Recorder::add_heatmap(std::string name, unsigned w, unsigned h,
-                           std::function<std::vector<double>()> fill) {
+                           HeatmapFill fill) {
   if (!cfg_.heatmaps) return;
   heatmaps_.push_back(Heatmap{std::move(name), w, h, std::move(fill)});
 }
 
-void Recorder::arm(sim::EventQueue& eq) {
-  if (!cfg_.epochs || series_.empty()) return;
-  eq.schedule_observer_in(cfg_.epoch_cycles, [this, &eq] { sample(eq); });
+bool Recorder::tick_live(const sim::EventQueue& eq) const noexcept {
+  // The last scheduled tick is still queued iff it has not fired
+  // (tick_pending_), its cycle is still in the future, and the queue has
+  // not dropped any observer event since it was scheduled (run_until drops
+  // past-limit observers; a changed drop count means our tick may be gone,
+  // and re-arming is then the safe side — the generation counter makes a
+  // survivor inert).
+  return tick_pending_ && eq.now() < next_tick_ &&
+         eq.observer_dropped() == drops_at_schedule_;
 }
 
-void Recorder::sample(sim::EventQueue& eq) {
-  std::vector<double> row;
-  row.reserve(series_.size());
-  for (Series& s : series_) row.push_back(s.probe());
-  rows_.emplace_back(eq.now(), std::move(row));
+void Recorder::schedule_tick(sim::EventQueue& eq) {
+  tick_pending_ = true;
+  next_tick_ = eq.now() + cfg_.epoch_cycles;
+  drops_at_schedule_ = eq.observer_dropped();
+  const std::uint64_t gen = ++tick_gen_;
+  eq.schedule_observer_at(next_tick_, [this, &eq, gen] { sample(eq, gen); });
+}
+
+void Recorder::arm(sim::EventQueue& eq) {
+  if (!cfg_.epochs || series_.empty()) return;
+  // Re-arming while the previous tick is still queued (a resumed run) must
+  // not start a second tick chain — that would double every epoch row.
+  if (tick_live(eq)) return;
+  schedule_tick(eq);
+}
+
+void Recorder::sample(sim::EventQueue& eq, std::uint64_t gen) {
+  if (gen != tick_gen_) return;  // superseded by a later arm(): inert
+  tick_pending_ = false;
+  // A re-armed tick can land on a cycle that already has a row (the drop /
+  // re-arm path); emit each sample cycle once.
+  if (rows_.empty() || rows_.back().first != eq.now()) {
+    std::vector<double> row;
+    row.reserve(series_.size());
+    for (Series& s : series_) row.push_back(s.probe());
+    rows_.emplace_back(eq.now(), std::move(row));
+  }
   // Keep ticking only while the simulation itself is still live; the tick
   // that finds the queue drained is the final (tail) sample.
-  if (eq.real_pending() > 0)
-    eq.schedule_observer_in(cfg_.epoch_cycles, [this, &eq] { sample(eq); });
+  if (eq.real_pending() > 0 && cfg_.epoch_cycles > 0) schedule_tick(eq);
 }
 
 // --------------------------------------------------------------------------
@@ -143,9 +171,9 @@ std::string Recorder::epochs_json() const {
 // Heatmap output
 // --------------------------------------------------------------------------
 
-std::string Recorder::heatmaps_text() const {
+std::string Recorder::heatmaps_text() {
   std::ostringstream os;
-  for (const Heatmap& hm : heatmaps_) {
+  for (Heatmap& hm : heatmaps_) {
     const std::vector<double> v = hm.fill();
     TDN_REQUIRE(v.size() == static_cast<std::size_t>(hm.w) * hm.h,
                 "heatmap provider returned wrong cell count: " + hm.name);
@@ -163,11 +191,11 @@ std::string Recorder::heatmaps_text() const {
   return os.str();
 }
 
-std::string Recorder::heatmaps_json() const {
+std::string Recorder::heatmaps_json() {
   std::ostringstream os;
   os << "{";
   for (std::size_t i = 0; i < heatmaps_.size(); ++i) {
-    const Heatmap& hm = heatmaps_[i];
+    Heatmap& hm = heatmaps_[i];
     const std::vector<double> v = hm.fill();
     TDN_REQUIRE(v.size() == static_cast<std::size_t>(hm.w) * hm.h,
                 "heatmap provider returned wrong cell count: " + hm.name);

@@ -25,13 +25,15 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/attribution.hpp"
+#include "sim/inline_function.hpp"
 
 namespace tdn::sim {
 class EventQueue;
@@ -46,9 +48,13 @@ struct RecorderConfig {
   /// Also record one instant event per coherence transaction (LLC request /
   /// invalidation / bypass). High volume: off by default even when tracing.
   bool trace_coherence = false;
+  /// Per-access latency attribution + histograms (obs::LatencyAttribution).
+  bool attribution = false;
   Cycle epoch_cycles = 10'000;
 
-  bool any() const noexcept { return trace || epochs || heatmaps; }
+  bool any() const noexcept {
+    return trace || epochs || heatmaps || attribution;
+  }
 };
 
 /// One Chrome trace_event record. Only the two phases the simulator emits:
@@ -72,6 +78,11 @@ class Recorder {
   bool coherence_on() const noexcept { return cfg_.trace && cfg_.trace_coherence; }
   bool epochs_on() const noexcept { return cfg_.epochs; }
   bool heatmaps_on() const noexcept { return cfg_.heatmaps; }
+  bool attribution_on() const noexcept { return attr_ != nullptr; }
+  /// Null unless the attribution sink is enabled; the coherence layer
+  /// null-tests this once at construction and stamps through the pointer.
+  LatencyAttribution* attribution() noexcept { return attr_.get(); }
+  const LatencyAttribution* attribution() const noexcept { return attr_.get(); }
 
   // --- auxiliary trace tracks (cores use their CoreId as tid) -----------
   static constexpr std::uint32_t kRuntimeTrack = 1000;
@@ -80,19 +91,29 @@ class Recorder {
   static constexpr std::uint32_t kFaultTrack = 1003;
 
   // --- wiring (done by system::TiledSystem at construction) -------------
+  /// Probe callables live inline (no heap), same substrate rule as
+  /// sim::Action; 48 bytes covers every registered probe (a `this` pointer
+  /// plus a few indices / running counters).
+  static constexpr std::size_t kProbeCapacity = 48;
+  using SeriesProbe = sim::InlineFunction<double(), kProbeCapacity>;
+  using HeatmapFill =
+      sim::InlineFunction<std::vector<double>(), kProbeCapacity>;
+
   /// The clock `span_now`/`instant` stamp events with.
   void attach_clock(const sim::EventQueue* eq) noexcept { eq_ = eq; }
   void set_track_name(std::uint32_t tid, std::string name);
   /// Register an epoch time-series probe; called once per epoch in
   /// registration order. Probes must not mutate simulation state.
-  void add_series(std::string name, std::function<double()> probe);
+  void add_series(std::string name, SeriesProbe probe);
   /// Register a heatmap provider; @p fill returns w*h row-major values and
   /// runs at output time.
-  void add_heatmap(std::string name, unsigned w, unsigned h,
-                   std::function<std::vector<double>()> fill);
+  void add_heatmap(std::string name, unsigned w, unsigned h, HeatmapFill fill);
   /// Start epoch sampling on @p eq (no-op unless the epoch sink is enabled).
   /// Sampling ticks at epoch_cycles intervals for as long as the simulation
   /// has real (non-observer) events pending, plus one final tail sample.
+  /// Idempotent while a tick is live: re-arming after run_until() dropped
+  /// the pending tick schedules a fresh one, but re-arming with the tick
+  /// still queued (resumed runs) does not start a duplicate tick chain.
   void arm(sim::EventQueue& eq);
 
   // --- trace sink (instrumentation call sites) --------------------------
@@ -118,22 +139,28 @@ class Recorder {
   std::string epochs_json() const;
 
   std::size_t heatmap_count() const noexcept { return heatmaps_.size(); }
-  std::string heatmaps_text() const;
-  std::string heatmaps_json() const;
+  // Non-const: heatmap providers are inline callables that may carry
+  // mutable capture state, and they run at output time.
+  std::string heatmaps_text();
+  std::string heatmaps_json();
 
  private:
   struct Series {
     std::string name;
-    std::function<double()> probe;
+    SeriesProbe probe;
   };
   struct Heatmap {
     std::string name;
     unsigned w = 0;
     unsigned h = 0;
-    std::function<std::vector<double>()> fill;
+    HeatmapFill fill;
   };
 
-  void sample(sim::EventQueue& eq);
+  void sample(sim::EventQueue& eq, std::uint64_t gen);
+  void schedule_tick(sim::EventQueue& eq);
+  /// Whether the tick scheduled by the last schedule_tick() is still queued
+  /// on @p eq (not yet fired, not dropped by a cycle-limited run).
+  bool tick_live(const sim::EventQueue& eq) const noexcept;
 
   RecorderConfig cfg_;
   const sim::EventQueue* eq_ = nullptr;
@@ -145,6 +172,17 @@ class Recorder {
   std::vector<std::pair<Cycle, std::vector<double>>> rows_;
 
   std::vector<Heatmap> heatmaps_;
+  std::unique_ptr<LatencyAttribution> attr_;
+
+  // Sampler-tick liveness (see arm()): a tick is live while one is queued
+  // for next_tick_ and the queue has not dropped an observer since it was
+  // scheduled. The generation counter makes superseded ticks inert — a
+  // queued tick from before a re-arm fires as a no-op instead of starting a
+  // second tick chain.
+  bool tick_pending_ = false;
+  Cycle next_tick_ = 0;
+  std::uint64_t drops_at_schedule_ = 0;
+  std::uint64_t tick_gen_ = 0;
 };
 
 /// Write @p content to @p path; returns false (and logs) on I/O failure.

@@ -157,7 +157,10 @@ void RuntimeSystem::start_on_core(Task& t, core::SimCore& core) {
     overhead += jitter_.next_below(cfg_.dispatch_jitter);
   core.busy(overhead, [this, &t, &core] {
     hooks_.before_task(t, core, [this, &t, &core] {
+      t.exec_started_at = eq_.now();
       core.execute(t.program, [this, &t, &core] {
+        t.exec_finished_at = eq_.now();
+        t.compute_cycles = core.task_ideal_cycles();
         hooks_.after_task(t, core, [this, &t] { complete_task(t); });
       });
     });

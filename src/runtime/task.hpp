@@ -28,6 +28,11 @@ struct Task {
   Cycle ready_at = 0;  ///< when the last predecessor retired (obs tracing)
   Cycle started_at = 0;
   Cycle finished_at = 0;
+  // --- execution breakdown (obs critical-path analysis) ----------------
+  Cycle exec_started_at = 0;   ///< core.execute() began (after dispatch+hooks)
+  Cycle exec_finished_at = 0;  ///< core.execute() drained (before end hooks)
+  Cycle compute_cycles = 0;    ///< ideal stall-free cycles of the program
+  Cycle hook_cycles = 0;       ///< TD-NUCA ISA cycles charged for this task
 };
 
 }  // namespace tdn::runtime

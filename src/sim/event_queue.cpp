@@ -47,8 +47,12 @@ Cycle EventQueue::run_until(Cycle limit) {
     if (ev->observer) {
       --observer_pending_;
       // Observers past the limit are dropped, not an error: a cycle-limited
-      // run must not be failed by a pending sampler tick.
-      if (ev->when > limit) continue;
+      // run must not be failed by a pending sampler tick. The drop is
+      // counted so the scheduler of a periodic observer can re-arm.
+      if (ev->when > limit) {
+        ++observer_dropped_;
+        continue;
+      }
       now_ = ev->when;
       ev->fn();
       continue;

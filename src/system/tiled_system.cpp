@@ -220,6 +220,15 @@ void TiledSystem::register_observability() {
   const unsigned n = cfg_.num_cores();
   rec_->attach_clock(&eq_);
 
+  // --- latency attribution sinks -----------------------------------------
+  // The coherence layer stamps through rec_->attribution() directly; the
+  // NoC and DRAM models additionally feed their own histograms.
+  if (obs::LatencyAttribution* attr = rec_->attribution()) {
+    net_->set_transit_sinks(&attr->noc_transit(0), &attr->noc_transit(1));
+    for (unsigned m = 0; m < mcs_->count(); ++m)
+      mcs_->mc(m).set_queue_sink(&attr->dram_queue());
+  }
+
   // --- trace tracks -----------------------------------------------------
   for (unsigned i = 0; i < n; ++i)
     rec_->set_track_name(i, "core " + std::to_string(i));

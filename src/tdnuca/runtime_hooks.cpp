@@ -306,6 +306,7 @@ void TdNucaRuntimeHooks::before_task_clean(runtime::Task& task,
 
   active_[task.id] = std::move(placed);
   overhead_cycles_ += cycles;
+  task.hook_cycles += cycles;
   join->add();
   core.busy(cycles, [join] { join->complete(); });
   join->arm();
@@ -417,6 +418,7 @@ void TdNucaRuntimeHooks::after_task(runtime::Task& task, core::SimCore& core,
   }
   active_.erase(it);
   overhead_cycles_ += cycles;
+  task.hook_cycles += cycles;
   join->add();
   core.busy(cycles, [join] { join->complete(); });
   join->arm();

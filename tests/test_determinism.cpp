@@ -11,6 +11,9 @@
 // case (scale=0.25, defaults otherwise, cache disabled).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <map>
 #include <sstream>
 #include <string>
@@ -73,6 +76,23 @@ TEST(Determinism, MetricsGoldensV6) {
         << " metrics hash 0x" << std::hex << metrics_hash(r.metrics)
         << " over " << std::dec << r.metrics.size() << " keys";
   }
+}
+
+// Latency attribution observes and never perturbs: with the report sink on
+// (which enables attribution, epoch-free), every metric hashes to the same
+// committed golden as the plain run. This is the obs-on/obs-off identity
+// the v2 observability layer promises.
+TEST(Determinism, MetricsGoldensV6WithAttributionEnabled) {
+  const GoldenCase& c = kGoldens[0];  // gauss / S-NUCA
+  harness::RunConfig cfg = golden_config(c);
+  cfg.obs.latency_report_path =
+      "/tmp/tdn_test_determinism_report_" + std::to_string(::getpid()) +
+      ".json";
+  const harness::RunResult r =
+      harness::run_experiment(cfg, /*use_cache=*/false);
+  EXPECT_EQ(metrics_hash(r.metrics), c.metrics)
+      << "attribution-enabled run drifted from the attribution-off golden";
+  std::remove(cfg.obs.latency_report_path.c_str());
 }
 
 // Two fresh in-process runs of the same config are bit-identical, key by
