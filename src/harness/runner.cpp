@@ -13,6 +13,7 @@
 #include "harness/sweep_runner.hpp"
 #include "multi/multi_system.hpp"
 #include "obs/critical_path.hpp"
+#include "serve/serve_system.hpp"
 
 namespace tdn::harness {
 
@@ -106,15 +107,17 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
 
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v6": derived-metric schema version; bump to invalidate cached results
+  // "v7": derived-metric schema version; bump to invalidate cached results
   // when the metric extraction changes (v3 added the per-bank llc.bankN.*
   // keys; v4 added the fault.* keys and folded the fault plan into the
   // system fingerprint; v5 added multiprogram mixes — the appK.* /
   // multi.* keys and the colocation options below; v6 added
-  // cache.forced_unsafe_evictions).
-  os << "v6/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // cache.forced_unsafe_evictions; v7 added open-arrival serving — the
+  // serve.* keys and the serving options below).
+  os << "v7/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
-     << multi.canonical() << '/' << sys.fingerprint();
+     << multi.canonical() << '/' << sys.fingerprint() << '/'
+     << (serve.enabled() ? serve.canonical() : std::string("-"));
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
 }
@@ -128,6 +131,7 @@ std::string RunConfig::describe() const {
   // itself throw on a bad mix spelling.
   if (workload.find('+') != std::string::npos)
     os << " multi=" << multi.canonical();
+  if (serve.enabled()) os << " serve=" << serve.canonical();
   if (!sys.fault.plan.empty()) os << " faults=\"" << sys.fault.plan << '"';
   return os.str();
 }
@@ -208,11 +212,20 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
     if (artifacts != nullptr) *artifacts = std::move(arts);
   };
 
-  // Multiprogram mixes assemble a shared-substrate machine with per-app
-  // runtimes; single names build the classic one-app TiledSystem. Cache
-  // lookup/store and obs artifact plumbing are shared by both paths.
+  // Serving runs treat the workload string as the tenant list and assemble
+  // an open-arrival ServeSystem; multiprogram mixes assemble a
+  // shared-substrate machine with per-app runtimes; single names build the
+  // classic one-app TiledSystem. Cache lookup/store and obs artifact
+  // plumbing are shared by all three paths.
   const multi::MixSpec mix = multi::MixSpec::parse(cfg.workload);
-  if (mix.is_multi()) {
+  if (cfg.serve.enabled()) {
+    serve::ServeSystem ssys(sys_cfg, mix, cfg.serve,
+                            obs_active ? &rec : nullptr);
+    ssys.build(cfg.params);
+    ssys.run();
+    result.metrics = ssys.collect_stats().all();
+    emit_artifacts(nullptr);
+  } else if (mix.is_multi()) {
     multi::MultiProgramSystem msys(sys_cfg, mix, cfg.multi,
                                    obs_active ? &rec : nullptr);
     msys.build(cfg.params);

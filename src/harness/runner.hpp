@@ -11,6 +11,7 @@
 
 #include "multi/mix.hpp"
 #include "obs/recorder.hpp"
+#include "serve/options.hpp"
 #include "system/tiled_system.hpp"
 #include "workloads/workload.hpp"
 
@@ -57,12 +58,15 @@ struct ObsArtifacts {
 struct RunConfig {
   /// A workload name, or a '+'-joined mix ("gauss+histo"): mixes run on a
   /// multi::MultiProgramSystem and report per-app appK.* metrics alongside
-  /// the shared-machine totals.
+  /// the shared-machine totals. With serve.arrival set, the same string
+  /// names the *tenants* of an open-arrival serving run instead (single
+  /// names allowed: a one-tenant service).
   std::string workload;
   system::PolicyKind policy = system::PolicyKind::SNuca;
   workloads::WorkloadParams params{};
   system::SystemConfig sys{};  ///< policy field is overridden by `policy`
   multi::MultiOptions multi{}; ///< colocation knobs; ignored for single apps
+  serve::ServeOptions serve{}; ///< open-arrival serving (docs/serving.md)
   ObsOptions obs{};            ///< not fingerprinted; see ObsOptions
 
   std::uint64_t fingerprint() const;

@@ -18,9 +18,13 @@ namespace tdn::multi {
 
 class AppRouter final : public nuca::MappingPolicy {
  public:
-  /// @p apps in app-index order; the router does not own them.
-  explicit AppRouter(std::vector<nuca::MappingPolicy*> apps)
-      : apps_(std::move(apps)) {
+  /// @p apps in app-index order; the router does not own them. With
+  /// @p wrap, the owner index is taken modulo the slot count: tdn::serve
+  /// gives every *request* a fresh kAppStride-aligned address-space slice
+  /// (slice s + slots * generation), so the wrap maps each slice back to
+  /// the worker slot serving it.
+  explicit AppRouter(std::vector<nuca::MappingPolicy*> apps, bool wrap = false)
+      : apps_(std::move(apps)), wrap_(wrap) {
     TDN_REQUIRE(!apps_.empty(), "router needs at least one app policy");
   }
 
@@ -42,15 +46,28 @@ class AppRouter final : public nuca::MappingPolicy {
     for (nuca::MappingPolicy* p : apps_) p->set_ops(ops);
   }
 
+  /// Swap the policy behind slot @p idx (tdn::serve adaptive switching:
+  /// future dispatches on the slot route through a different policy; the
+  /// old one keeps serving its still-cached lines by L1 home, which never
+  /// consults the router). The new policy receives the injected CacheOps.
+  void set_policy(unsigned idx, nuca::MappingPolicy* p) {
+    TDN_REQUIRE(idx < apps_.size(), "slot index out of range");
+    TDN_REQUIRE(p != nullptr, "null slot policy");
+    apps_[idx] = p;
+    if (ops_ != nullptr) p->set_ops(ops_);
+  }
+
  private:
   nuca::MappingPolicy& app_policy(Addr vaddr) {
-    const unsigned a = app_of_vaddr(vaddr);
+    unsigned a = app_of_vaddr(vaddr);
+    if (wrap_) a %= static_cast<unsigned>(apps_.size());
     TDN_REQUIRE(a < apps_.size(),
                 "address belongs to no colocated app's address space");
     return *apps_[a];
   }
 
   std::vector<nuca::MappingPolicy*> apps_;
+  bool wrap_ = false;
 };
 
 }  // namespace tdn::multi

@@ -7,6 +7,19 @@
 
 namespace tdn::multi {
 
+std::vector<CoreMask> row_partitions(unsigned mesh_w, unsigned mesh_h,
+                                     unsigned n) {
+  TDN_REQUIRE(n >= 1, "at least one partition");
+  TDN_REQUIRE(mesh_h % n == 0,
+              "mesh height must divide evenly into per-partition rows");
+  const unsigned rows_each = mesh_h / n;
+  std::vector<CoreMask> part(n);
+  for (unsigned k = 0; k < n; ++k)
+    for (unsigned r = k * rows_each; r < (k + 1) * rows_each; ++r)
+      for (unsigned x = 0; x < mesh_w; ++x) part[k].set(r * mesh_w + x);
+  return part;
+}
+
 const char* to_string(PartitionMode m) {
   switch (m) {
     case PartitionMode::Partitioned: return "partitioned";

@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/tile_mask.hpp"
 #include "common/types.hpp"
 
 namespace tdn::multi {
@@ -25,6 +26,15 @@ inline constexpr Addr kAppStride = Addr{1} << 40;  // 1 TiB
 inline unsigned app_of_vaddr(Addr vaddr) noexcept {
   return static_cast<unsigned>(vaddr / kAppStride);
 }
+
+/// Split a mesh_w x mesh_h mesh into @p n row-granular tile partitions:
+/// partition k owns rows [k*h/n, (k+1)*h/n). Rows keep each partition
+/// spatially contiguous (its banks are its cores' nearest), which is what a
+/// colocation-aware OS scheduler would hand out. Requires mesh_h % n == 0.
+/// Shared by MultiProgramSystem (per-app partitions) and serve::ServeSystem
+/// (per-slot partitions).
+std::vector<CoreMask> row_partitions(unsigned mesh_w, unsigned mesh_h,
+                                     unsigned n);
 
 enum class PartitionMode : std::uint8_t {
   /// Each app's NUCA policy is confined to its own bank rows (and, for

@@ -36,18 +36,11 @@ MultiProgramSystem::MultiProgramSystem(system::SystemConfig cfg, MixSpec mix,
                                                mc_tiles, cfg_.dram);
 
   // --- core / bank partitions ------------------------------------------
-  // Row-granular split: app a owns mesh rows [a*rpa, (a+1)*rpa). Rows keep
-  // each partition spatially contiguous (its banks are its cores' nearest),
-  // which is what a colocation-aware OS scheduler would hand out.
-  TDN_REQUIRE(cfg_.mesh_h % num_apps == 0,
-              "mesh height must divide evenly into per-app rows");
-  const unsigned rows_per_app = cfg_.mesh_h / num_apps;
-  std::vector<CoreMask> part(num_apps);
-  for (unsigned a = 0; a < num_apps; ++a) {
-    for (unsigned r = a * rows_per_app; r < (a + 1) * rows_per_app; ++r)
-      for (unsigned x = 0; x < cfg_.mesh_w; ++x)
-        part[a].set(r * cfg_.mesh_w + x);
-  }
+  // Row-granular split (multi::row_partitions): app a owns mesh rows
+  // [a*rpa, (a+1)*rpa).
+  const unsigned rows_per_app = cfg_.mesh_h / std::max(num_apps, 1u);
+  const std::vector<CoreMask> part =
+      row_partitions(cfg_.mesh_w, cfg_.mesh_h, num_apps);
 
   // --- per-app address spaces + NUCA policies --------------------------
   apps_.reserve(num_apps);

@@ -89,6 +89,9 @@ class Recorder {
   static constexpr std::uint32_t kFlushTrack = 1001;
   static constexpr std::uint32_t kCoherenceTrack = 1002;
   static constexpr std::uint32_t kFaultTrack = 1003;
+  /// Serving (tdn::serve): one track per worker slot — slot s emits its
+  /// request-lifecycle spans on tid kServeTrackBase + s.
+  static constexpr std::uint32_t kServeTrackBase = 1100;
 
   // --- wiring (done by system::TiledSystem at construction) -------------
   /// Probe callables live inline (no heap), same substrate rule as

@@ -1,0 +1,85 @@
+// tdn::serve — open-arrival traffic serving on the shared NUCA substrate.
+//
+// Where tdn::multi colocates a *closed* fixed mix, serve models the open
+// system of ROADMAP item 2: task-graph "requests" arrive over simulated time
+// via a configurable arrival process, pass an admission controller with a
+// bounded pending queue, and execute on per-slot machine partitions with
+// per-tenant QoS accounting (sojourn-time tail percentiles, goodput, shed
+// rate). ServeOptions is the whole contract: every field is folded into the
+// experiment fingerprint via canonical(), so serving runs are cacheable and
+// sweep-deterministic like any other RunConfig. Operator's manual:
+// docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace tdn::serve {
+
+/// What the admission controller does with an arrival that finds the
+/// pending queue full.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Shed the incoming request (classic bounded-queue tail drop).
+  Reject,
+  /// Shed the *oldest* queued request and admit the newcomer — trades a
+  /// stale request (whose sojourn deadline is likely already blown) for a
+  /// fresh one; lowers tail sojourn at equal shed rate.
+  DropOldest,
+};
+
+const char* to_string(AdmissionPolicy p);
+
+/// Serving knobs. A non-empty `arrival` spec turns a RunConfig into an
+/// open-arrival serving run (harness::run_experiment routes it onto a
+/// ServeSystem); everything here enters RunConfig::fingerprint() through
+/// canonical(), so two runs with different serving options never share a
+/// results-cache entry.
+struct ServeOptions {
+  /// Arrival-process DSL, e.g. "poisson:gap=40k" — see arrival.hpp for the
+  /// grammar. Empty = serving disabled (the default: ordinary closed runs).
+  std::string arrival;
+  /// Open-arrival window: requests are generated in [0, horizon); admitted
+  /// requests still in the system at the horizon run to completion
+  /// (time-to-drain is reported as serve.drain_cycles).
+  Cycle horizon = 600'000;
+  /// Worker slots: row-granular machine partitions (multi::row_partitions),
+  /// each serving one request at a time with its own NUCA policy instance.
+  /// Must divide the mesh height evenly.
+  unsigned slots = 2;
+  /// Admission-queue bound: at most this many admitted-but-undispatched
+  /// requests wait; an arrival beyond it is shed per `admission`. 0 means
+  /// no queueing at all (a request is served immediately or shed).
+  unsigned max_pending = 8;
+  AdmissionPolicy admission = AdmissionPolicy::Reject;
+  /// Per-tenant arrival weights, colon-joined ("3:1" = tenant 0 arrives 3x
+  /// as often as tenant 1). Empty = equal weights. Must have exactly one
+  /// component per tenant when non-empty.
+  std::string weights;
+  /// Workload scale of each request's task graph (WorkloadParams::scale).
+  /// Serving studies want many small graphs, not one LLC-busting one.
+  double request_scale = 0.05;
+  /// Runtime policy switching: start every slot on TD-NUCA and switch
+  /// future dispatches to R-NUCA (and back) when the admitted tenant mix
+  /// shifts across `switch_threshold`, sampled every `epoch` cycles.
+  /// Requires the RunConfig policy to be TdNuca. Switches apply at request
+  /// dispatch boundaries only — in-flight requests keep the policy they
+  /// started with (each request lives in a fresh address-space slot, so the
+  /// two policies never disagree about a live line).
+  bool adaptive = false;
+  /// Mix-observation period for adaptive switching, in simulated cycles.
+  /// This sampler mutates scheduling decisions, so it rides on *real*
+  /// events (never obs observer events) and is part of the fingerprint.
+  Cycle epoch = 20'000;
+  /// Tenant-0 share of admitted requests in the last epoch at or above
+  /// which future dispatches use TD-NUCA; below it they use R-NUCA.
+  double switch_threshold = 0.5;
+
+  bool enabled() const noexcept { return !arrival.empty(); }
+  /// e.g. "poisson:gap=40k/h600000/s2/q8/rej/w3:1/sc0.05/ad0/e20000/th0.5"
+  /// — folded into RunConfig::fingerprint().
+  std::string canonical() const;
+};
+
+}  // namespace tdn::serve

@@ -1,0 +1,566 @@
+#include "serve/serve_system.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/require.hpp"
+#include "energy/energy_model.hpp"
+#include "obs/recorder.hpp"
+
+namespace tdn::serve {
+
+ServeSystem::ServeSystem(system::SystemConfig cfg, multi::MixSpec tenants,
+                         ServeOptions opts, obs::Recorder* rec)
+    : cfg_(cfg), tenants_(std::move(tenants)), opts_(std::move(opts)),
+      rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h), page_table_(cfg.page_table) {
+  const unsigned n = cfg_.num_cores();
+  TDN_REQUIRE(opts_.enabled(), "ServeSystem needs an arrival spec");
+  TDN_REQUIRE(opts_.slots >= 1, "at least one worker slot");
+  TDN_REQUIRE(cfg_.policy != system::PolicyKind::TdNucaDryRun,
+              "TdNucaDryRun is a single-program overhead study; "
+              "not supported in serving mode");
+  TDN_REQUIRE(!opts_.adaptive || cfg_.policy == system::PolicyKind::TdNuca,
+              "adaptive switching starts from the TdNuca policy");
+  if (opts_.adaptive) TDN_REQUIRE(opts_.epoch > 0, "adaptive needs an epoch");
+  qos_.resize(tenants_.apps.size());
+  epoch_admitted_.assign(tenants_.apps.size(), 0);
+
+  net_ = std::make_unique<noc::Network>(mesh_, eq_, cfg_.network);
+
+  // Memory controllers: identical placement to TiledSystem/MultiProgram.
+  std::vector<CoreId> mc_tiles;
+  std::vector<CoreId> edge_tiles;
+  for (unsigned x = 0; x < cfg_.mesh_w; ++x) {
+    edge_tiles.push_back(x);
+    edge_tiles.push_back((cfg_.mesh_h - 1) * cfg_.mesh_w + x);
+  }
+  for (unsigned i = 0; i < cfg_.num_memory_controllers; ++i)
+    mc_tiles.push_back(edge_tiles[i % edge_tiles.size()]);
+  mcs_ = std::make_unique<mem::MemControllers>(cfg_.num_memory_controllers,
+                                               mc_tiles, cfg_.dram);
+
+  // --- worker slots: row-granular machine partitions ---------------------
+  const std::vector<CoreMask> part =
+      multi::row_partitions(cfg_.mesh_w, cfg_.mesh_h, opts_.slots);
+  slots_.resize(opts_.slots);
+  std::vector<nuca::MappingPolicy*> slot_policies;
+  for (unsigned s = 0; s < opts_.slots; ++s) {
+    Slot& slot = slots_[s];
+    slot.cores = part[s];
+    slot.banks = part[s];
+    switch (cfg_.policy) {
+      case system::PolicyKind::SNuca:
+        slot.snuca = std::make_unique<nuca::SNucaPolicy>(
+            n, cfg_.hierarchy.l1.line_size);
+        slot.policy = slot.snuca.get();
+        break;
+      case system::PolicyKind::RNuca:
+        slot.rnuca = std::make_unique<nuca::RNucaPolicy>(mesh_, n, page_table_,
+                                                         cfg_.rnuca);
+        slot.policy = slot.rnuca.get();
+        break;
+      case system::PolicyKind::TdNuca:
+      case system::PolicyKind::TdNucaBypassOnly: {
+        auto td_cfg = cfg_.tdnuca;
+        td_cfg.bypass_only =
+            (cfg_.policy == system::PolicyKind::TdNucaBypassOnly);
+        slot.tdnuca = std::make_unique<nuca::TdNucaPolicy>(mesh_, n, td_cfg);
+        slot.policy = slot.tdnuca.get();
+        // Adaptive slots carry the alternate policy too; dispatch picks.
+        if (opts_.adaptive)
+          slot.rnuca = std::make_unique<nuca::RNucaPolicy>(
+              mesh_, n, page_table_, cfg_.rnuca);
+        break;
+      }
+      case system::PolicyKind::TdNucaDryRun:
+        break;  // rejected above
+    }
+    if (slot.tdnuca) slot.tdnuca->set_partition(slot.banks, slot.cores);
+    if (slot.rnuca) slot.rnuca->set_partition(slot.banks, slot.cores);
+    if (slot.snuca) slot.snuca->set_partition(slot.banks, slot.cores);
+    slot_policies.push_back(slot.policy);
+  }
+
+  // Wrap mode: request address-space slice slot + slots*generation folds
+  // back onto its worker slot's active policy.
+  router_ = std::make_unique<multi::AppRouter>(slot_policies, /*wrap=*/true);
+  caches_ = std::make_unique<coherence::CoherentSystem>(
+      eq_, *net_, mesh_, *mcs_, *router_, cfg_.hierarchy, n, rec_);
+
+  // Per-slot LLC accounting (attribution is by requester core, so slices
+  // beyond the slot count never index the view).
+  coherence::CoherentSystem::AppView view;
+  view.num_apps = opts_.slots;
+  view.core_app.resize(n);
+  const unsigned rows_per_slot = cfg_.mesh_h / opts_.slots;
+  for (unsigned c = 0; c < n; ++c)
+    view.core_app[c] =
+        static_cast<std::uint8_t>(c / (rows_per_slot * cfg_.mesh_w));
+  caches_->set_app_view(std::move(view));
+
+  // --- cores ------------------------------------------------------------
+  cores_.reserve(n);
+  std::vector<mem::Tlb*> tlbs;
+  for (unsigned i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<core::SimCore>(
+        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb));
+    tlbs.push_back(&cores_.back()->tlb());
+  }
+  for (Slot& slot : slots_) {
+    if (slot.rnuca) slot.rnuca->set_tlbs(tlbs);
+    slot.cores.for_each(
+        [&](CoreId c) { slot.core_ptrs.push_back(cores_[c].get()); });
+  }
+
+  // --- fault injection --------------------------------------------------
+  if (!cfg_.fault.plan.empty()) {
+    fault::FaultInjector::Targets t;
+    t.eq = &eq_;
+    t.mesh = &mesh_;
+    t.net = net_.get();
+    t.caches = caches_.get();
+    t.mcs = mcs_.get();
+    t.tdnuca = nullptr;  // per-slot RRTs; in-map health guards suffice
+    t.rec = rec_;
+    injector_ = std::make_unique<fault::FaultInjector>(
+        fault::FaultPlan::parse(cfg_.fault.plan), cfg_.fault, t, n,
+        cfg_.hierarchy.l1.line_size);
+    health_ = &injector_->health();
+    for (Slot& slot : slots_) {
+      if (slot.snuca) slot.snuca->set_health(health_);
+      if (slot.rnuca) slot.rnuca->set_health(health_);
+      if (slot.tdnuca) slot.tdnuca->set_health(health_);
+    }
+    caches_->set_health(health_);
+    net_->set_health(health_);
+  }
+
+  if (rec_ != nullptr) register_observability();
+}
+
+ServeSystem::~ServeSystem() = default;
+
+void ServeSystem::build(const workloads::WorkloadParams& params) {
+  TDN_REQUIRE(!built_, "build() already called");
+  built_ = true;
+  params_ = params;
+  const ArrivalSpec spec = ArrivalSpec::parse(opts_.arrival);
+  const std::vector<unsigned> weights =
+      parse_weights(opts_.weights, num_tenants());
+  const std::vector<Arrival> trace =
+      spec.generate(opts_.horizon, weights, params.seed);
+  requests_.reserve(trace.size());
+  for (const Arrival& a : trace) {
+    Request r;
+    r.tenant = a.tenant;
+    r.arrive = a.cycle;
+    requests_.push_back(r);
+  }
+}
+
+Cycle ServeSystem::run(Cycle cycle_limit) {
+  TDN_REQUIRE(built_, "call build() before run()");
+  TDN_REQUIRE(!ran_, "run() already called");
+  ran_ = true;
+  if (rec_ != nullptr) rec_->arm(eq_);
+  if (injector_) injector_->arm();
+  arrivals_remaining_ = requests_.size();
+  for (unsigned i = 0; i < requests_.size(); ++i)
+    eq_.schedule_at(requests_[i].arrive, [this, i] { on_arrival(i); });
+  // The mix sampler rides *real* events: it mutates future scheduling, so
+  // it must be part of the simulation proper (obs observer events must
+  // never change behavior). The chain ends itself once the system drains.
+  if (opts_.adaptive && !requests_.empty())
+    eq_.schedule_in(opts_.epoch, [this] { epoch_tick(); });
+  if (requests_.empty()) completed_ = true;
+  eq_.run_until(cycle_limit);
+  TDN_REQUIRE(completed_,
+              "serving drained without completing every admitted request");
+  graveyard_.clear();  // queue is empty: no event references retired state
+  return makespan_;
+}
+
+bool ServeSystem::any_busy() const noexcept {
+  for (const Slot& slot : slots_)
+    if (slot.busy) return true;
+  return false;
+}
+
+void ServeSystem::on_arrival(unsigned rid) {
+  --arrivals_remaining_;
+  Request& r = requests_[rid];
+  ++offered_;
+  ++qos_[r.tenant].offered;
+  for (unsigned s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].busy) {
+      ++epoch_admitted_[r.tenant];
+      dispatch(s, rid);
+      return;
+    }
+  }
+  if (pending_.size() < opts_.max_pending) {
+    ++epoch_admitted_[r.tenant];
+    pending_.push_back(rid);
+    queue_max_depth_ = std::max(queue_max_depth_, pending_.size());
+    return;
+  }
+  if (opts_.admission == AdmissionPolicy::DropOldest && !pending_.empty()) {
+    // Trade the oldest queued request (its deadline is the most blown) for
+    // the newcomer; the queue depth is unchanged.
+    const unsigned victim = pending_.front();
+    pending_.pop_front();
+    shed_request(victim);
+    ++epoch_admitted_[r.tenant];
+    pending_.push_back(rid);
+    return;
+  }
+  shed_request(rid);
+}
+
+void ServeSystem::shed_request(unsigned rid) {
+  Request& r = requests_[rid];
+  r.shed = true;
+  ++shed_;
+  ++qos_[r.tenant].shed;
+  if (rec_ != nullptr && rec_->trace_on()) {
+    rec_->instant(obs::Recorder::kServeTrackBase + opts_.slots, "serve",
+                  "shed " + tenants_.apps[r.tenant] + "#" +
+                      std::to_string(rid),
+                  "\"tenant\":" + std::to_string(r.tenant));
+  }
+  if (arrivals_remaining_ == 0 && done_ + shed_ == offered_)
+    completed_ = true;
+}
+
+void ServeSystem::dispatch(unsigned s, unsigned rid) {
+  Slot& slot = slots_[s];
+  Request& r = requests_[rid];
+  TDN_REQUIRE(!slot.busy, "dispatch onto a busy slot");
+  slot.busy = true;
+  r.slot = s;
+  r.dispatch = eq_.now();
+
+  auto live = std::make_unique<Live>();
+
+  // Fresh kAppStride-aligned address-space slice per request: consecutive
+  // requests on a slot (and an adaptive policy switch between them) can
+  // never alias, and stale RRT / page-classification entries from the
+  // previous request never match a new address.
+  const Addr base =
+      mem::kHeapBase + static_cast<Addr>(s + opts_.slots * slot.generation) *
+                           multi::kAppStride;
+  live->vspace = std::make_unique<mem::VirtualSpace>(base);
+
+  nuca::MappingPolicy* pol = slot.policy;
+  if (opts_.adaptive)
+    pol = use_tdnuca_ ? static_cast<nuca::MappingPolicy*>(slot.tdnuca.get())
+                      : slot.rnuca.get();
+  router_->set_policy(s, pol);
+
+  switch (cfg_.scheduler) {
+    case system::SchedulerKind::Fifo:
+      live->scheduler = std::make_unique<runtime::FifoScheduler>();
+      break;
+    case system::SchedulerKind::Affinity:
+      live->scheduler = std::make_unique<runtime::AffinityScheduler>();
+      break;
+  }
+
+  runtime::RuntimeHooks* hooks = nullptr;
+  if (pol == static_cast<nuca::MappingPolicy*>(slot.tdnuca.get()) &&
+      slot.tdnuca) {
+    auto hooks_cfg = cfg_.hooks;
+    hooks_cfg.line_size = cfg_.hierarchy.l1.line_size;
+    live->hooks_td = std::make_unique<tdnuca::TdNucaRuntimeHooks>(
+        *slot.tdnuca, page_table_, cfg_.num_cores(), hooks_cfg, rec_);
+    if (health_ != nullptr) live->hooks_td->set_health(health_);
+    hooks = live->hooks_td.get();
+  } else {
+    live->hooks_base = std::make_unique<runtime::RuntimeHooks>();
+    hooks = live->hooks_base.get();
+  }
+
+  // Distinct jitter stream per request id: back-to-back requests on a slot
+  // must not mirror each other's dispatch noise.
+  auto rt_cfg = cfg_.runtime;
+  rt_cfg.jitter_seed += 0x9E3779B97F4A7C15ull * (rid + 1);
+  live->rt = std::make_unique<runtime::RuntimeSystem>(
+      eq_, slot.core_ptrs, *live->scheduler, *hooks, rt_cfg, rec_);
+  if (live->hooks_td) live->hooks_td->set_runtime(live->rt.get());
+  if (auto* aff =
+          dynamic_cast<runtime::AffinityScheduler*>(live->scheduler.get()))
+    aff->set_tasks(&live->rt->tasks());
+
+  workloads::WorkloadParams p = params_;
+  p.scale = opts_.request_scale;
+  // Decorrelate repeated requests of one tenant's workload.
+  p.seed = params_.seed + 1000003ull * (rid + 1);
+  live->workload = workloads::make_workload(tenants_.apps[r.tenant], p);
+  live->workload->build(workloads::BuildContext{*live->vspace, *live->rt});
+  TDN_REQUIRE(live->vspace->footprint() < multi::kAppStride,
+              "request footprint overflows its address-space slice");
+
+  slot.live = std::move(live);
+  slot.live->rt->run([this, s, rid] { on_complete(s, rid); });
+}
+
+void ServeSystem::on_complete(unsigned s, unsigned rid) {
+  Slot& slot = slots_[s];
+  Request& r = requests_[rid];
+  r.complete = eq_.now();
+  r.done = true;
+  ++done_;
+  tasks_total_ += slot.live->rt->tasks_completed();
+  makespan_ = std::max(makespan_, r.complete);
+
+  const Cycle sojourn = r.complete - r.arrive;
+  const Cycle waited = r.dispatch - r.arrive;
+  const Cycle service = r.complete - r.dispatch;
+  sojourn_.add(sojourn);
+  queue_wait_.add(waited);
+  service_.add(service);
+  TenantQos& q = qos_[r.tenant];
+  ++q.completed;
+  q.sojourn.add(sojourn);
+  q.queue_wait.add(waited);
+  q.service.add(service);
+
+  if (rec_ != nullptr && rec_->trace_on()) {
+    rec_->span(obs::Recorder::kServeTrackBase + s, "serve",
+               tenants_.apps[r.tenant] + "#" + std::to_string(rid), r.dispatch,
+               service,
+               "\"tenant\":" + std::to_string(r.tenant) + ",\"queue_wait\":" +
+                   std::to_string(waited) + ",\"sojourn\":" +
+                   std::to_string(sojourn));
+  }
+
+  // Deferred teardown: we are inside this runtime's own completion path,
+  // and the TD-NUCA hooks' end-of-task flush joiners can still fire after
+  // the last task completes — so retired request state must outlive every
+  // event that references it. The graveyard holds it until run() drains
+  // the whole queue; the zero-delay pump event only re-dispatches.
+  slot.busy = false;
+  ++slot.generation;
+  graveyard_.push_back(std::move(slot.live));
+  eq_.schedule_in(0, [this] { pump(); });
+
+  if (arrivals_remaining_ == 0 && done_ + shed_ == offered_)
+    completed_ = true;
+}
+
+void ServeSystem::pump() {
+  while (!pending_.empty()) {
+    int free_slot = -1;
+    for (unsigned s = 0; s < slots_.size(); ++s)
+      if (!slots_[s].busy) {
+        free_slot = static_cast<int>(s);
+        break;
+      }
+    if (free_slot < 0) break;
+    const unsigned rid = pending_.front();
+    pending_.pop_front();
+    dispatch(static_cast<unsigned>(free_slot), rid);
+  }
+}
+
+void ServeSystem::epoch_tick() {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : epoch_admitted_) total += c;
+  if (total > 0) {
+    const double share0 = static_cast<double>(epoch_admitted_[0]) /
+                          static_cast<double>(total);
+    const bool want_tdnuca = share0 >= opts_.switch_threshold;
+    if (want_tdnuca != use_tdnuca_) {
+      use_tdnuca_ = want_tdnuca;
+      ++policy_switches_;
+      if (rec_ != nullptr && rec_->trace_on()) {
+        rec_->instant(obs::Recorder::kServeTrackBase + opts_.slots, "serve",
+                      use_tdnuca_ ? "switch->tdnuca" : "switch->rnuca");
+      }
+    }
+    std::fill(epoch_admitted_.begin(), epoch_admitted_.end(), 0);
+  }
+  if (arrivals_remaining_ > 0 || !pending_.empty() || any_busy())
+    eq_.schedule_in(opts_.epoch, [this] { epoch_tick(); });
+}
+
+void ServeSystem::register_observability() {
+  const unsigned n = cfg_.num_cores();
+  rec_->attach_clock(&eq_);
+  if (obs::LatencyAttribution* attr = rec_->attribution()) {
+    net_->set_transit_sinks(&attr->noc_transit(0), &attr->noc_transit(1));
+    for (unsigned m = 0; m < mcs_->count(); ++m)
+      mcs_->mc(m).set_queue_sink(&attr->dram_queue());
+  }
+  for (unsigned i = 0; i < n; ++i)
+    rec_->set_track_name(i, "core " + std::to_string(i));
+  rec_->set_track_name(obs::Recorder::kRuntimeTrack, "runtime");
+  rec_->set_track_name(obs::Recorder::kFlushTrack, "flush engine");
+  rec_->set_track_name(obs::Recorder::kCoherenceTrack, "coherence");
+  for (unsigned s = 0; s < opts_.slots; ++s)
+    rec_->set_track_name(obs::Recorder::kServeTrackBase + s,
+                         "serve slot " + std::to_string(s));
+  rec_->set_track_name(obs::Recorder::kServeTrackBase + opts_.slots,
+                       "serve admission");
+  if (injector_) rec_->set_track_name(obs::Recorder::kFaultTrack, "faults");
+
+  for (unsigned b = 0; b < n; ++b) {
+    rec_->add_series(
+        "llc.bank" + std::to_string(b) + ".hit_ratio",
+        [this, b, ph = std::uint64_t{0}, pm = std::uint64_t{0}]() mutable {
+          const auto& c = caches_->bank_counters(b);
+          const std::uint64_t dh = c.hits - ph;
+          const std::uint64_t dm = c.misses - pm;
+          ph = c.hits;
+          pm = c.misses;
+          return (dh + dm) > 0
+                     ? static_cast<double>(dh) / static_cast<double>(dh + dm)
+                     : 0.0;
+        });
+  }
+  for (unsigned m = 0; m < cfg_.num_memory_controllers; ++m) {
+    rec_->add_series("dram.mc" + std::to_string(m) + ".backlog", [this, m] {
+      const auto& mc = mcs_->mc(m);
+      const Cycle now = eq_.now();
+      if (mc.busy_until() <= now) return 0.0;
+      return static_cast<double>(mc.busy_until() - now) /
+             static_cast<double>(mc.config().service_interval);
+    });
+  }
+
+  // --- serving series: the load/occupancy picture over time --------------
+  rec_->add_series("serve.pending_depth",
+                   [this] { return static_cast<double>(pending_.size()); });
+  rec_->add_series("serve.busy_slots", [this] {
+    unsigned busy = 0;
+    for (const Slot& slot : slots_)
+      if (slot.busy) ++busy;
+    return static_cast<double>(busy);
+  });
+  rec_->add_series("serve.offered",
+                   [this] { return static_cast<double>(offered_); });
+  rec_->add_series("serve.shed",
+                   [this] { return static_cast<double>(shed_); });
+  rec_->add_series("serve.completed",
+                   [this] { return static_cast<double>(done_); });
+
+  const unsigned w = cfg_.mesh_w;
+  const unsigned h = cfg_.mesh_h;
+  rec_->add_heatmap("llc_bank_accesses", w, h, [this, n] {
+    std::vector<double> v(n);
+    for (unsigned b = 0; b < n; ++b) {
+      const auto& c = caches_->bank_counters(b);
+      v[b] = static_cast<double>(c.requests + c.writebacks);
+    }
+    return v;
+  });
+  rec_->add_heatmap("noc_router_bytes", w, h, [this, n] {
+    std::vector<double> v(n);
+    for (unsigned t = 0; t < n; ++t)
+      v[t] = static_cast<double>(net_->router_bytes_at(t));
+    return v;
+  });
+}
+
+stats::Registry ServeSystem::collect_stats() const {
+  stats::Registry r;
+  const unsigned n = cfg_.num_cores();
+  const auto& cs = caches_->stats();
+
+  r.set("sim.cycles", static_cast<double>(makespan_));
+  r.set("sim.events", static_cast<double>(eq_.executed()));
+  r.set("tasks.completed", static_cast<double>(tasks_total_));
+  r.set("l1.hits", static_cast<double>(cs.l1_hits.value()));
+  r.set("l1.misses", static_cast<double>(cs.l1_misses.value()));
+  r.set("llc.requests", static_cast<double>(cs.llc_requests.value()));
+  r.set("llc.hits", static_cast<double>(cs.llc_hits.value()));
+  r.set("llc.misses", static_cast<double>(cs.llc_misses.value()));
+  r.set("llc.writebacks", static_cast<double>(cs.llc_writebacks.value()));
+  r.set("llc.accesses", static_cast<double>(caches_->llc_accesses()));
+  r.set("llc.hit_ratio", caches_->llc_hit_ratio());
+  r.set("llc.bypass_reads", static_cast<double>(cs.bypass_reads.value()));
+  r.set("nuca.mean_distance", cs.nuca_distance.mean());
+  r.set("l1.mean_miss_latency", cs.miss_latency.mean());
+  r.set("noc.router_bytes", static_cast<double>(net_->total_router_bytes()));
+  r.set("noc.messages", static_cast<double>(net_->messages()));
+  r.set("dram.accesses", static_cast<double>(mcs_->total_accesses()));
+
+  std::uint64_t rrt_lookups = 0;
+  for (const Slot& slot : slots_)
+    if (slot.tdnuca)
+      rrt_lookups += slot.tdnuca->rrt_hits() + slot.tdnuca->rrt_misses();
+  const auto e = energy::compute_energy(*caches_, *net_, *mcs_, rrt_lookups,
+                                        energy::EnergyParams{});
+  r.set("energy.llc_pj", e.llc_pj);
+  r.set("energy.noc_pj", e.noc_pj);
+  r.set("energy.dram_pj", e.dram_pj);
+  r.set("energy.total_pj", e.total_pj());
+
+  // --- serving aggregates ------------------------------------------------
+  const double offered = static_cast<double>(offered_);
+  r.set("serve.slots", static_cast<double>(opts_.slots));
+  r.set("serve.horizon", static_cast<double>(opts_.horizon));
+  r.set("serve.offered", offered);
+  r.set("serve.admitted", static_cast<double>(offered_ - shed_));
+  r.set("serve.shed", static_cast<double>(shed_));
+  r.set("serve.shed_rate",
+        offered_ > 0 ? static_cast<double>(shed_) / offered : 0.0);
+  r.set("serve.completed", static_cast<double>(done_));
+  // Goodput: completed requests per million cycles of the serving window
+  // (its natural end is the later of horizon and last completion).
+  const Cycle window = std::max(makespan_, opts_.horizon);
+  r.set("serve.goodput",
+        window > 0 ? static_cast<double>(done_) * 1e6 /
+                         static_cast<double>(window)
+                   : 0.0);
+  r.set("serve.makespan", static_cast<double>(makespan_));
+  r.set("serve.drain_cycles",
+        static_cast<double>(makespan_ > opts_.horizon
+                                ? makespan_ - opts_.horizon
+                                : 0));
+  r.set("serve.queue.max_depth", static_cast<double>(queue_max_depth_));
+  r.set("serve.policy_switches", static_cast<double>(policy_switches_));
+
+  auto emit_hist = [&r](const std::string& p, const obs::LatencyHistogram& h) {
+    r.set(p + ".mean", h.mean());
+    r.set(p + ".p50", static_cast<double>(h.percentile(0.50)));
+    r.set(p + ".p99", static_cast<double>(h.percentile(0.99)));
+    r.set(p + ".p999", static_cast<double>(h.percentile(0.999)));
+    r.set(p + ".max", static_cast<double>(h.max()));
+  };
+  emit_hist("serve.sojourn", sojourn_);
+  emit_hist("serve.queue_wait", queue_wait_);
+  emit_hist("serve.service", service_);
+
+  // --- per-tenant QoS ----------------------------------------------------
+  for (unsigned t = 0; t < num_tenants(); ++t) {
+    const TenantQos& q = qos_[t];
+    const std::string p = "serve.tenant" + std::to_string(t);
+    r.set(p + ".offered", static_cast<double>(q.offered));
+    r.set(p + ".shed", static_cast<double>(q.shed));
+    r.set(p + ".shed_rate", q.offered > 0 ? static_cast<double>(q.shed) /
+                                                static_cast<double>(q.offered)
+                                          : 0.0);
+    r.set(p + ".completed", static_cast<double>(q.completed));
+    r.set(p + ".goodput",
+          window > 0 ? static_cast<double>(q.completed) * 1e6 /
+                           static_cast<double>(window)
+                     : 0.0);
+    emit_hist(p + ".sojourn", q.sojourn);
+    emit_hist(p + ".queue_wait", q.queue_wait);
+  }
+
+  // Per-slot LLC view (the AppView counters).
+  for (unsigned s = 0; s < opts_.slots; ++s) {
+    const auto& ac = caches_->app_counters(s);
+    const std::string p = "serve.slot" + std::to_string(s);
+    r.set(p + ".llc.requests", static_cast<double>(ac.llc_requests));
+    r.set(p + ".llc.hits", static_cast<double>(ac.llc_hits));
+    r.set(p + ".llc.misses", static_cast<double>(ac.llc_misses));
+    r.set(p + ".requests_served", static_cast<double>(slots_[s].generation));
+  }
+  (void)n;
+  return r;
+}
+
+}  // namespace tdn::serve

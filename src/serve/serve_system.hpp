@@ -1,0 +1,216 @@
+// ServeSystem — open-arrival request serving on one shared NUCA machine.
+//
+// The open-system counterpart of multi::MultiProgramSystem (docs/serving.md):
+// instead of N fixed co-resident applications, task-graph *requests* arrive
+// over simulated time (serve::ArrivalSpec), pass an admission controller with
+// a bounded pending queue, and execute one-at-a-time on row-granular worker
+// slots of the shared LLC/NoC/DRAM substrate. Each request gets a fresh
+// runtime, scheduler and kAppStride-aligned address-space slice (slice
+// slot + slots * generation; the wrap-mode AppRouter folds slices back onto
+// slots), so consecutive requests on a slot can never alias in memory and a
+// mid-stream policy switch never leaves two policies disagreeing about a
+// live line.
+//
+// QoS accounting: per-tenant and total sojourn / queue-wait / service-time
+// LatencyHistograms (deterministic tail percentiles), goodput, shed rate and
+// time-to-drain — all surfaced through collect_stats() as serve.* keys.
+//
+// Adaptive policy switching (opts.adaptive): slots carry both a TD-NUCA and
+// an R-NUCA policy instance; an epoch sampler on *real* events (it mutates
+// scheduling, so it must be part of the simulation) watches the admitted
+// tenant mix and flips which policy future dispatches use when tenant 0's
+// share crosses opts.switch_threshold. In-flight requests keep the policy
+// they started with.
+//
+// Determinism: the arrival trace is pre-generated from the config seed, one
+// single-threaded event loop serves everything, per-request seeds derive
+// from the request id alone — runs are bit-identical across repetitions and
+// SweepRunner job counts, and cacheable like any RunConfig.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/coherent_system.hpp"
+#include "core/sim_core.hpp"
+#include "fault/injector.hpp"
+#include "mem/address_space.hpp"
+#include "mem/dram.hpp"
+#include "mem/page_table.hpp"
+#include "multi/app_router.hpp"
+#include "multi/mix.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "nuca/rnuca.hpp"
+#include "nuca/snuca.hpp"
+#include "nuca/tdnuca_policy.hpp"
+#include "obs/latency_histogram.hpp"
+#include "runtime/runtime_system.hpp"
+#include "runtime/scheduler.hpp"
+#include "serve/arrival.hpp"
+#include "serve/options.hpp"
+#include "sim/event_queue.hpp"
+#include "stats/registry.hpp"
+#include "system/config.hpp"
+#include "tdnuca/runtime_hooks.hpp"
+#include "workloads/workload.hpp"
+
+namespace tdn::obs {
+class Recorder;
+}
+
+namespace tdn::serve {
+
+/// Per-tenant QoS accumulators.
+struct TenantQos {
+  std::uint64_t offered = 0;    ///< arrivals
+  std::uint64_t shed = 0;       ///< rejected / dropped by admission
+  std::uint64_t completed = 0;  ///< ran to completion
+  obs::LatencyHistogram sojourn;     ///< complete - arrive
+  obs::LatencyHistogram queue_wait;  ///< dispatch - arrive
+  obs::LatencyHistogram service;     ///< complete - dispatch
+};
+
+class ServeSystem {
+ public:
+  /// Builds the machine and the per-slot partitions. @p tenants names one
+  /// workload per tenant ('+'-joined, single names allowed); arrivals draw
+  /// a tenant per request by opts.weights. @p cfg.policy is the per-slot
+  /// NUCA policy (TdNucaDryRun unsupported); opts.adaptive requires TdNuca.
+  /// @p rec (optional) observes only, as everywhere else.
+  ServeSystem(system::SystemConfig cfg, multi::MixSpec tenants,
+              ServeOptions opts, obs::Recorder* rec = nullptr);
+  ~ServeSystem();
+  ServeSystem(const ServeSystem&) = delete;
+  ServeSystem& operator=(const ServeSystem&) = delete;
+
+  /// Expand the arrival trace for [0, opts.horizon) from @p params.seed and
+  /// size the request table. Call once, before run().
+  void build(const workloads::WorkloadParams& params);
+
+  /// Serve the whole trace and drain: returns the cycle the last admitted
+  /// request completed (the makespan). @p cycle_limit guards tests.
+  Cycle run(Cycle cycle_limit = kNeverCycle);
+  bool completed() const noexcept { return completed_; }
+
+  // --- introspection ----------------------------------------------------
+  unsigned num_tenants() const noexcept {
+    return static_cast<unsigned>(tenants_.apps.size());
+  }
+  unsigned num_slots() const noexcept { return opts_.slots; }
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t shed() const noexcept { return shed_; }
+  std::uint64_t requests_completed() const noexcept { return done_; }
+  std::size_t queue_max_depth() const noexcept { return queue_max_depth_; }
+  std::uint64_t policy_switches() const noexcept { return policy_switches_; }
+  const TenantQos& tenant_qos(unsigned t) const { return qos_.at(t); }
+  const obs::LatencyHistogram& sojourn() const noexcept { return sojourn_; }
+
+  sim::EventQueue& events() noexcept { return eq_; }
+  const system::SystemConfig& config() const noexcept { return cfg_; }
+  const ServeOptions& options() const noexcept { return opts_; }
+  fault::FaultInjector* fault_injector() noexcept { return injector_.get(); }
+
+  /// Machine totals mirror MultiProgramSystem::collect_stats (sim.*, llc.*,
+  /// noc.*, dram.*, energy.*); serving metrics live under serve.* and
+  /// serve.tenantK.* — see docs/serving.md for every key.
+  stats::Registry collect_stats() const;
+
+ private:
+  /// One entry per generated arrival, in arrival order.
+  struct Request {
+    unsigned tenant = 0;
+    Cycle arrive = 0;
+    Cycle dispatch = 0;
+    Cycle complete = 0;
+    unsigned slot = 0;
+    bool shed = false;
+    bool done = false;
+  };
+
+  /// Everything owned by one in-flight request; destroyed (via the
+  /// graveyard) after its runtime drains.
+  struct Live {
+    std::unique_ptr<mem::VirtualSpace> vspace;
+    std::unique_ptr<runtime::Scheduler> scheduler;
+    std::unique_ptr<runtime::RuntimeHooks> hooks_base;
+    std::unique_ptr<tdnuca::TdNucaRuntimeHooks> hooks_td;
+    std::unique_ptr<runtime::RuntimeSystem> rt;
+    std::unique_ptr<workloads::Workload> workload;
+  };
+
+  struct Slot {
+    CoreMask cores;
+    BankMask banks;
+    std::vector<core::SimCore*> core_ptrs;
+    // Adaptive mode builds both tdnuca and rnuca; otherwise exactly one of
+    // the three is non-null per cfg.policy.
+    std::unique_ptr<nuca::SNucaPolicy> snuca;
+    std::unique_ptr<nuca::RNucaPolicy> rnuca;
+    std::unique_ptr<nuca::TdNucaPolicy> tdnuca;
+    nuca::MappingPolicy* policy = nullptr;  ///< initial router entry
+    bool busy = false;
+    unsigned generation = 0;  ///< completed dispatches on this slot
+    std::unique_ptr<Live> live;
+  };
+
+  void on_arrival(unsigned rid);
+  void shed_request(unsigned rid);
+  void dispatch(unsigned slot, unsigned rid);
+  void on_complete(unsigned slot, unsigned rid);
+  /// Dispatch queued requests onto freed slots (deferred off the finishing
+  /// runtime's own call stack via a zero-delay event).
+  void pump();
+  void epoch_tick();
+  bool any_busy() const noexcept;
+  void register_observability();
+
+  system::SystemConfig cfg_;
+  multi::MixSpec tenants_;
+  ServeOptions opts_;
+  obs::Recorder* rec_ = nullptr;
+
+  sim::EventQueue eq_;
+  noc::Mesh mesh_;
+  mem::PageTable page_table_;
+  std::unique_ptr<noc::Network> net_;
+  std::unique_ptr<mem::MemControllers> mcs_;
+  std::vector<Slot> slots_;
+  std::unique_ptr<multi::AppRouter> router_;
+  std::unique_ptr<coherence::CoherentSystem> caches_;
+  std::vector<std::unique_ptr<core::SimCore>> cores_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  const fault::HealthState* health_ = nullptr;
+
+  workloads::WorkloadParams params_;
+  std::vector<Request> requests_;
+  std::deque<unsigned> pending_;  ///< admitted, waiting for a slot
+  /// Retired request state. The TD-NUCA flush joiners of a finished request
+  /// can fire after its runtime's completion callback, so retired Lives are
+  /// only destroyed once run() drains the whole event queue.
+  std::vector<std::unique_ptr<Live>> graveyard_;
+
+  // --- counters / QoS ----------------------------------------------------
+  std::uint64_t offered_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t done_ = 0;
+  std::uint64_t tasks_total_ = 0;  ///< tasks across all retired runtimes
+  std::uint64_t arrivals_remaining_ = 0;
+  std::size_t queue_max_depth_ = 0;
+  Cycle makespan_ = 0;
+  std::vector<TenantQos> qos_;
+  obs::LatencyHistogram sojourn_, queue_wait_, service_;
+
+  // --- adaptive switching -------------------------------------------------
+  bool use_tdnuca_ = true;  ///< which policy future dispatches use
+  std::uint64_t policy_switches_ = 0;
+  std::vector<std::uint64_t> epoch_admitted_;  ///< per-tenant, current epoch
+
+  bool built_ = false;
+  bool ran_ = false;
+  bool completed_ = false;
+};
+
+}  // namespace tdn::serve

@@ -39,13 +39,15 @@ struct GoldenCase {
   std::uint64_t metrics;
 };
 
-// Schema v6 goldens (v6 added cache.forced_unsafe_evictions).
+// Schema v7 goldens (v7 added the serving options segment; closed runs
+// carry the "-" sentinel, so only the fingerprints moved — the metric
+// hashes are untouched from v6).
 const GoldenCase kGoldens[] = {
-    {"gauss", system::PolicyKind::SNuca, 0x4357ed881e7bfbbbull,
+    {"gauss", system::PolicyKind::SNuca, 0x40be0eec505d0684ull,
      0x1a92393edf4ca81full},
-    {"histo", system::PolicyKind::RNuca, 0x0d2526114e4199e4ull,
+    {"histo", system::PolicyKind::RNuca, 0x1380c2d32835adbbull,
      0x7cb836047f112f48ull},
-    {"jacobi", system::PolicyKind::TdNuca, 0x83fec03c47a751daull,
+    {"jacobi", system::PolicyKind::TdNuca, 0xf1fe5b2c58d5ad0bull,
      0x1589fc6404d3e126ull},
 };
 
@@ -57,7 +59,7 @@ harness::RunConfig golden_config(const GoldenCase& c) {
   return cfg;
 }
 
-TEST(Determinism, FingerprintGoldensV6) {
+TEST(Determinism, FingerprintGoldensV7) {
   for (const GoldenCase& c : kGoldens) {
     const harness::RunConfig cfg = golden_config(c);
     EXPECT_EQ(cfg.fingerprint(), c.fingerprint)
@@ -66,7 +68,7 @@ TEST(Determinism, FingerprintGoldensV6) {
   }
 }
 
-TEST(Determinism, MetricsGoldensV6) {
+TEST(Determinism, MetricsGoldensV7) {
   for (const GoldenCase& c : kGoldens) {
     const harness::RunConfig cfg = golden_config(c);
     const harness::RunResult r =
@@ -82,7 +84,7 @@ TEST(Determinism, MetricsGoldensV6) {
 // (which enables attribution, epoch-free), every metric hashes to the same
 // committed golden as the plain run. This is the obs-on/obs-off identity
 // the v2 observability layer promises.
-TEST(Determinism, MetricsGoldensV6WithAttributionEnabled) {
+TEST(Determinism, MetricsGoldensV7WithAttributionEnabled) {
   const GoldenCase& c = kGoldens[0];  // gauss / S-NUCA
   harness::RunConfig cfg = golden_config(c);
   cfg.obs.latency_report_path =

@@ -165,15 +165,16 @@ TEST(MultiProgram, FingerprintSeparatesColocationOptions) {
   EXPECT_NE(base.fingerprint(), other.fingerprint());
 }
 
-TEST(MultiProgram, FingerprintGoldenV6) {
-  // Golden hash of the default 2-app config under schema v6. A change here
-  // means cached results are (correctly) invalidated — if that was not the
-  // intent, the fingerprint composition regressed. Regenerate by printing
-  // cfg.fingerprint() for this exact config.
+TEST(MultiProgram, FingerprintGoldenV7) {
+  // Golden hash of the default 2-app config under schema v7 (v7 added the
+  // open-arrival serving options; a closed run hashes the "-" sentinel in
+  // the serve position). A change here means cached results are (correctly)
+  // invalidated — if that was not the intent, the fingerprint composition
+  // regressed. Regenerate by printing cfg.fingerprint() for this config.
   harness::RunConfig cfg;
   cfg.workload = "gauss+histo";
   cfg.policy = system::PolicyKind::TdNuca;
-  EXPECT_EQ(cfg.fingerprint(), 0xb95ea4d61afc4e59ull)
+  EXPECT_EQ(cfg.fingerprint(), 0xab3046014ee7d750ull)
       << std::hex << cfg.fingerprint();
 }
 
