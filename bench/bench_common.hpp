@@ -5,12 +5,14 @@
 #pragma once
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "harness/figures.hpp"
 #include "harness/paper_ref.hpp"
 #include "harness/runner.hpp"
@@ -30,11 +32,49 @@ inline unsigned& jobs_flag() {
   return jobs;
 }
 
+/// Checkpoint flags shared by the serving binaries (docs/serving.md
+/// §checkpoint/restore). Applied by serving paths that opt in; ignored by
+/// closed-run figures.
+inline ckpt::Options& ckpt_flags() {
+  static ckpt::Options opts;
+  return opts;
+}
+
+/// "50k" / "2M" / "12345" → cycles. Returns 0 on garbage (flag ignored).
+inline Cycle parse_cycles(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) return 0;
+  if (end != nullptr && *end == 'k') v *= 1e3;
+  else if (end != nullptr && *end == 'M') v *= 1e6;
+  return static_cast<Cycle>(v);
+}
+
+/// First SIGINT/SIGTERM: request a cooperative interrupt — a serving run
+/// with checkpointing drains to the next quiescent point, publishes a final
+/// emergency snapshot and unwinds; every experiment that already finished
+/// was flushed to the results cache atomically (fsync + rename), so an
+/// interrupted sweep loses at most the in-flight runs and resumes from the
+/// cache. A second signal falls back to the default disposition (kill) for
+/// runs that cannot reach a quiescent point.
+extern "C" inline void bench_interrupt_handler(int sig) {
+  tdn::ckpt::request_interrupt();
+  std::signal(sig, SIG_DFL);
+}
+
 /// Parse the flags every bench binary shares. Call first in main(); flags
 /// not recognized here (the obs flags) are handled later by obs_section().
 ///
-///   --jobs N | -j N    simulations run N at a time (default: all cores)
+///   --jobs N | -j N          simulations run N at a time (default: all cores)
+///   --checkpoint-dir PATH    serving runs publish quiescent-point snapshots
+///   --checkpoint-every N     snapshot cadence in simulated cycles (k/M
+///                            suffixes ok; serving binaries default it when
+///                            only --checkpoint-dir is given)
+///   --resume                 resume serving runs from the newest valid
+///                            snapshot in --checkpoint-dir
 inline void init(int argc, char** argv) {
+  std::signal(SIGINT, bench_interrupt_handler);
+  std::signal(SIGTERM, bench_interrupt_handler);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--jobs" || a == "-j") {
@@ -43,6 +83,14 @@ inline void init(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "%s requires a value\n", a.c_str());
       }
+    } else if (a == "--checkpoint-dir") {
+      if (i + 1 < argc) ckpt_flags().dir = argv[++i];
+      else std::fprintf(stderr, "%s requires a value\n", a.c_str());
+    } else if (a == "--checkpoint-every") {
+      if (i + 1 < argc) ckpt_flags().every = parse_cycles(argv[++i]);
+      else std::fprintf(stderr, "%s requires a value\n", a.c_str());
+    } else if (a == "--resume") {
+      ckpt_flags().resume = true;
     }
   }
 }
@@ -55,7 +103,18 @@ inline std::vector<RunResult> run_all(
   opts.jobs = jobs_flag();
   opts.progress = true;
   harness::SweepRunner runner(opts);
-  return runner.run(cfgs);
+  try {
+    return runner.run(cfgs);
+  } catch (const ckpt::InterruptedError& e) {
+    // The sweep pool has already stopped and every completed experiment was
+    // flushed atomically to the results cache; rerunning the same command
+    // picks those up as cache hits and only re-simulates the remainder.
+    std::fprintf(stderr,
+                 "\nsweep interrupted (%s); completed results are in the "
+                 "results cache — rerun to resume\n",
+                 e.what());
+    std::exit(130);
+  }
 }
 
 inline std::vector<RunResult> suite(const std::vector<PolicyKind>& policies) {

@@ -12,7 +12,16 @@
 //   --smoke    one serving run: verify admission conservation (offered =
 //              shed + completed), queue bound, tail ordering and per-tenant
 //              QoS splits. Exit status reports the outcome (CI serving step).
+//              Honors the shared checkpoint flags (--checkpoint-dir,
+//              --checkpoint-every, --resume; bench_common.hpp) and prints
+//              the config fingerprint and a metrics hash, so the CI
+//              kill-and-resume job can diff an interrupted+resumed run
+//              against an uninterrupted reference.
+#include <map>
+#include <sstream>
+
 #include "bench_common.hpp"
+#include "common/prng.hpp"
 #include "serve/options.hpp"
 
 namespace {
@@ -39,11 +48,33 @@ harness::RunConfig serve_cfg(const std::string& arrival, PolicyKind pol,
   return cfg;
 }
 
+std::uint64_t metrics_hash(const std::map<std::string, double>& m) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [k, v] : m) os << k << ',' << v << '\n';
+  const std::string s = os.str();
+  return fnv1a64(s.data(), s.size());
+}
+
 int smoke() {
   std::printf("serving smoke: %s, poisson arrivals, TD-NUCA\n", kTenants);
   auto cfg = serve_cfg("poisson:gap=25k", PolicyKind::TdNuca);
   cfg.serve.horizon = 200'000;
-  const auto res = harness::run_experiment(cfg);
+  cfg.ckpt = ckpt_flags();
+  if (!cfg.ckpt.dir.empty() && cfg.ckpt.every == 0)
+    cfg.ckpt.every = 50'000;  // --checkpoint-dir alone gets a sane cadence
+  harness::RunResult res;
+  try {
+    res = harness::run_experiment(cfg);
+  } catch (const ckpt::InterruptedError& e) {
+    std::printf("serving smoke: INTERRUPTED (%s)\n", e.what());
+    return 130;
+  }
+  std::printf("  fingerprint: 0x%016llx\n",
+              static_cast<unsigned long long>(cfg.fingerprint()));
+  std::printf("  metrics hash: 0x%016llx over %zu keys\n",
+              static_cast<unsigned long long>(metrics_hash(res.metrics)),
+              res.metrics.size());
   bool ok = true;
   auto expect = [&ok](bool cond, const char* what) {
     std::printf("  %-42s %s\n", what, cond ? "ok" : "FAILED");

@@ -222,6 +222,21 @@ class CacheArray {
     }
   }
 
+  /// Cold-reset: drop every line and restore the replacement trees to their
+  /// construction state, with no eviction/writeback side effects. Checkpoint
+  /// normalization (tdn::ckpt) uses this to make a warmed array
+  /// indistinguishable from a freshly built one; counters (including
+  /// forced_unsafe_evictions_) deliberately survive — they are history, not
+  /// contents.
+  void reset_all() {
+    for (Line& ln : lines_) {
+      ln.addr = kInvalidLine;
+      ln.meta = Meta{};
+    }
+    plru_.assign(sets_, PseudoLruTree(geo_.associativity));
+    occupied_ = 0;
+  }
+
   std::uint64_t occupied_lines() const noexcept { return occupied_; }
   std::uint64_t capacity_lines() const noexcept { return lines_.size(); }
   /// Times allocate() had to evict a line its `avoid` predicate pinned

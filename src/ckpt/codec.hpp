@@ -1,0 +1,113 @@
+// Byte-buffer codec for checkpoint snapshots (docs/serving.md §checkpoint).
+//
+// Fixed little-endian integer layout and bit-exact doubles (via u64
+// bit-pattern), so a snapshot written on one host restores identically on
+// any other. The Decoder is fully bounds-checked and throws SnapshotError
+// instead of reading past the payload — a truncated or corrupt snapshot
+// must be *detected*, never trusted (ISSUE 8 acceptance).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace tdn::ckpt {
+
+/// Thrown on any malformed snapshot: bad magic, version or fingerprint
+/// mismatch, checksum failure, or a decode running past the payload.
+class SnapshotError : public RequireError {
+ public:
+  explicit SnapshotError(const std::string& what) : RequireError(what) {}
+};
+
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.append(s);
+  }
+  void u64_vec(const std::vector<std::uint64_t>& v) {
+    u64(v.size());
+    for (std::uint64_t x : v) u64(x);
+  }
+
+  const std::string& bytes() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class Decoder {
+ public:
+  Decoder(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::string& bytes)
+      : Decoder(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(data_ + pos_, static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t n = u64();
+    // Each element needs 8 bytes; reject an absurd count before reserving.
+    need(n * 8);
+    std::vector<std::uint64_t> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+    return v;
+  }
+
+  bool done() const noexcept { return pos_ == size_; }
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > size_ - pos_)
+      throw SnapshotError("snapshot decode past end of payload");
+  }
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tdn::ckpt

@@ -209,6 +209,43 @@ class CoherentSystem final : public nuca::CacheOps {
   std::uint64_t app_resident_lines(unsigned app) const;
   std::uint64_t app_resident_lines(unsigned app, BankId bank) const;
 
+  // --- checkpoint cold-normalization (tdn::ckpt) ------------------------
+  /// At a quiescent checkpoint boundary (no in-flight transaction anywhere)
+  /// return the hierarchy to its post-construction state: every L1 and LLC
+  /// bank array emptied, replacement trees rewound, bank service horizons
+  /// and per-bank app affinity cleared. Run in BOTH lineages — the
+  /// continuing run and the restored run — so "continue after the fold" and
+  /// "rebuild from the snapshot" are the same machine by construction.
+  /// Refuses (TDN_REQUIRE) if any MSHR entry or blocked-directory line is
+  /// still live: that means quiescence detection was wrong, and snapshotting
+  /// would tear a transaction.
+  void ckpt_cold_reset() {
+    for (auto& l1 : l1s_) {
+      TDN_REQUIRE(l1.mshr.outstanding() == 0,
+                  "ckpt_cold_reset: MSHR entries still in flight");
+      l1.array.reset_all();
+      l1.flush_busy = 0;
+    }
+    for (auto& bank : banks_) {
+      TDN_REQUIRE(bank.blocked.empty(),
+                  "ckpt_cold_reset: blocked directory lines still live");
+      bank.array.reset_all();
+      bank.next_free = 0;
+      bank.last_app = kNoApp;
+    }
+  }
+  /// Fold-and-reset every hierarchy statistic (aggregate Stats, per-bank
+  /// breakdown, per-app counters). The caller folds the emitted values into
+  /// its baseline first; see serve::ServeSystem checkpoint fold.
+  void ckpt_reset_stats() {
+    stats_ = Stats{};
+    for (auto& bank : banks_) {
+      bank.counters = BankCounters{};
+      bank.cross_app_conflicts = 0;
+    }
+    for (auto& ac : app_counters_) ac = AppCounters{};
+  }
+
  private:
   struct L1 {
     explicit L1(const HierarchyConfig& cfg)

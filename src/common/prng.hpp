@@ -27,6 +27,12 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  /// Raw generator position — checkpoint/restore of long-lived streams
+  /// (e.g. the page allocator's fragmentation PRNG). Restoring the state
+  /// resumes the exact sample sequence.
+  constexpr std::uint64_t state() const noexcept { return state_; }
+  constexpr void set_state(std::uint64_t s) noexcept { state_ = s; }
+
  private:
   std::uint64_t state_;
 };

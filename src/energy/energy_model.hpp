@@ -41,6 +41,29 @@ struct EnergyBreakdown {
   double total_pj() const { return llc_pj + noc_pj + dram_pj + l1_pj + rrt_pj; }
 };
 
+/// The raw event counts the model consumes, decoupled from the live
+/// objects. Checkpoint folds (tdn::ckpt) sum a baseline's counts with the
+/// post-restore counts *as integers* and evaluate the model once on the
+/// combined inputs — the only way the interrupted+resumed lineage's energy
+/// is bit-identical to the uninterrupted one (evaluating the linear model
+/// per segment and adding the doubles is not associative).
+struct EnergyInputs {
+  std::uint64_t llc_requests = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t llc_writebacks = 0;
+  std::uint64_t flush_llc_lines = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t flush_l1_lines = 0;
+  std::uint64_t noc_router_bytes = 0;
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t rrt_lookups = 0;
+};
+
+/// Aggregate dynamic energy from explicit event counts.
+EnergyBreakdown compute_energy(const EnergyInputs& in,
+                               const EnergyParams& params = {});
+
 /// Aggregate dynamic energy from the run's event counts.
 /// @p rrt_lookups is 0 for policies without an RRT.
 EnergyBreakdown compute_energy(const coherence::CoherentSystem& caches,

@@ -42,7 +42,68 @@ void FaultInjector::arm() {
   armed_ = true;
   for (std::size_t i = 0; i < plan_.events().size(); ++i) {
     const FaultEvent ev = plan_.events()[i];
+    ++plan_pending_;
     t_.eq->schedule_at(ev.at, [this, ev, i] { apply(ev, i); });
+  }
+}
+
+void FaultInjector::arm_from(Cycle resume) {
+  TDN_REQUIRE(!armed_, "fault injector armed twice");
+  armed_ = true;
+  for (std::size_t i = 0; i < plan_.events().size(); ++i) {
+    const FaultEvent ev = plan_.events()[i];
+    if (ev.at <= resume) {
+      replay(ev, resume);
+    } else {
+      ++plan_pending_;
+      t_.eq->schedule_at(ev.at, [this, ev, i] { apply(ev, i); });
+    }
+  }
+}
+
+void FaultInjector::replay(const FaultEvent& ev, Cycle resume) {
+  const unsigned n = health_.num_banks();
+  switch (ev.kind) {
+    case FaultKind::BankFail: {
+      const BankId bank = ev.unit % n;
+      if (health_.bank_ok(bank)) health_.fail_bank(bank);
+      // No evacuation: the rebuilt arrays are cold, and the snapshotted
+      // lineage already performed (and accounted) the evacuation flushes.
+      break;
+    }
+    case FaultKind::BankSlow:
+      health_.slow_bank(ev.unit % n, ev.factor);
+      break;
+    case FaultKind::LinkFail:
+    case FaultKind::LinkDegrade: {
+      const noc::Coord a{ev.ax, ev.ay};
+      const noc::Coord b{ev.bx, ev.by};
+      const CoreId ta = t_.mesh->tile(a);
+      const CoreId tb = t_.mesh->tile(b);
+      if (ev.kind == FaultKind::LinkFail) {
+        health_.fail_link(ta, dir_from_to(a, b));
+        health_.fail_link(tb, dir_from_to(b, a));
+      } else {
+        health_.degrade_link(ta, dir_from_to(a, b), ev.factor);
+        health_.degrade_link(tb, dir_from_to(b, a), ev.factor);
+      }
+      break;
+    }
+    case FaultKind::RrtFlip:
+    case FaultKind::RrtEvict:
+      // Transient soft errors against tables that were cold-cleared at the
+      // boundary (and scrubbed long before it): nothing to reconstruct.
+      break;
+    case FaultKind::DramStall: {
+      if (t_.mcs == nullptr) break;
+      const unsigned mc = ev.unit % t_.mcs->count();
+      // The original event stalled the controller until at + length; only a
+      // horizon still in the future can shape post-resume timing.
+      if (ev.at + ev.length > resume)
+        t_.mcs->mc(mc).inject_stall(ev.at + ev.length);
+      ++health_.counters.dram_stalls;
+      break;
+    }
   }
 }
 
@@ -57,6 +118,8 @@ void FaultInjector::record(const FaultEvent& ev) {
 }
 
 void FaultInjector::apply(const FaultEvent& ev, std::size_t index) {
+  TDN_ASSERT(plan_pending_ > 0);
+  --plan_pending_;
   SplitMix64 rng(seed_base_ ^ ((index + 1) * 0x9e3779b97f4a7c15ull));
   const unsigned n = health_.num_banks();
   switch (ev.kind) {

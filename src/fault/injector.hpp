@@ -71,12 +71,39 @@ class FaultInjector {
   /// Schedule every plan event. Call once, before the event loop runs.
   void arm();
 
+  /// Checkpoint-restore arming (tdn::ckpt): rebuild the injector's effect
+  /// on a freshly constructed machine resuming at cycle @p resume.
+  ///
+  ///  * Events with `at <= resume` already fired in the snapshotted lineage
+  ///    (plan events are scheduled before any periodic chain, so they win
+  ///    same-cycle ties against the checkpoint marker). They are REPLAYED as
+  ///    pure state mutations — health topology (failed/slowed banks, dead
+  ///    and degraded links) and DRAM stall horizons still reaching past the
+  ///    boundary (`inject_stall(at + length)`). No events are scheduled, no
+  ///    bank evacuation runs (the cold arrays hold nothing to evacuate; the
+  ///    snapshotted lineage already paid those flushes), and nothing is
+  ///    recorded to the trace.
+  ///  * Events with `at > resume` are scheduled normally, exactly as arm()
+  ///    would have.
+  ///
+  /// RRT soft-error events replay as no-ops against the cold (empty) tables;
+  /// in serving configurations the TD-NUCA target is detached anyway, so
+  /// this loses nothing. Call after EventQueue::fast_forward(resume).
+  void arm_from(Cycle resume);
+
+  /// Plan events scheduled but not yet applied — quiescence detection
+  /// subtracts these from the pending-event census (a scheduled fault is
+  /// expected future work, not an in-flight transaction).
+  std::size_t plan_pending() const noexcept { return plan_pending_; }
+
   HealthState& health() noexcept { return health_; }
   const HealthState& health() const noexcept { return health_; }
   const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
   void apply(const FaultEvent& ev, std::size_t index);
+  /// State-mutation-only replay of one already-fired event (see arm_from).
+  void replay(const FaultEvent& ev, Cycle resume);
   void scrub_rrt(CoreId core, AddrRange prange);
   void record(const FaultEvent& ev);
 
@@ -86,6 +113,7 @@ class FaultInjector {
   HealthState health_;
   std::uint64_t seed_base_;
   bool armed_ = false;
+  std::size_t plan_pending_ = 0;
 };
 
 }  // namespace tdn::fault

@@ -1,5 +1,6 @@
 #include "harness/results_cache.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -25,21 +26,46 @@ bool atomic_write_file(const std::string& path, const std::string& content) {
   tmp_name << p.filename().string() << ".tmp." << ::getpid() << "."
            << seq.fetch_add(1, std::memory_order_relaxed);
   const fs::path tmp = p.parent_path() / tmp_name.str();
-  {
-    std::ofstream out(tmp, std::ios::binary);
-    if (!out) return false;
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      out.close();
+  // POSIX fd path rather than ofstream: the data must be fsync'd *before*
+  // the rename publishes the name. Rename-then-crash on an unsynced file
+  // can otherwise surface as a complete-looking but empty (or partial) file
+  // after a host crash — exactly the torn state atomic publication is meant
+  // to rule out (docs/harness.md §durability).
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      ::close(fd);
       fs::remove(tmp, ec);
       return false;
     }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fs::remove(tmp, ec);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    fs::remove(tmp, ec);
+    return false;
   }
   fs::rename(tmp, p, ec);
   if (ec) {
     fs::remove(tmp, ec);
     return false;
+  }
+  // Make the rename itself durable: fsync the containing directory. Failure
+  // here (e.g. an fsync-less filesystem) is not fatal — the data blocks are
+  // already synced, only the name's durability is best-effort.
+  const std::string dir =
+      p.parent_path().empty() ? "." : p.parent_path().string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return true;
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "common/jsonfmt.hpp"
 #include "common/prng.hpp"
 #include "common/require.hpp"
@@ -118,6 +119,10 @@ std::uint64_t RunConfig::fingerprint() const {
      << '/' << params.compute << '/' << params.seed << '/'
      << multi.canonical() << '/' << sys.fingerprint() << '/'
      << (serve.enabled() ? serve.canonical() : std::string("-"));
+  // Checkpoint cadence is simulated behavior (the drain detour is real
+  // simulated work), so it keys results; appended only when enabled so every
+  // pre-existing fingerprint is unchanged.
+  if (serve.enabled() && ckpt.enabled()) os << '/' << ckpt.canonical();
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
 }
@@ -132,6 +137,7 @@ std::string RunConfig::describe() const {
   if (workload.find('+') != std::string::npos)
     os << " multi=" << multi.canonical();
   if (serve.enabled()) os << " serve=" << serve.canonical();
+  if (serve.enabled() && ckpt.enabled()) os << " ckpt=" << ckpt.canonical();
   if (!sys.fault.plan.empty()) os << " faults=\"" << sys.fault.plan << '"';
   return os.str();
 }
@@ -155,6 +161,10 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
   // the recorder only observes).
   const bool obs_active = cfg.obs.any();
   if (obs_active) use_cache = false;
+  // Checkpointing exists to survive the simulation being killed; serving a
+  // memoized result would skip the simulation and publish nothing.
+  const bool ckpt_active = cfg.serve.enabled() && cfg.ckpt.enabled();
+  if (ckpt_active) use_cache = false;
 
   const std::string key = cache_key(cfg);
   if (use_cache) {
@@ -222,6 +232,15 @@ RunResult run_experiment(const RunConfig& cfg, bool use_cache,
     serve::ServeSystem ssys(sys_cfg, mix, cfg.serve,
                             obs_active ? &rec : nullptr);
     ssys.build(cfg.params);
+    if (ckpt_active) {
+      ssys.set_checkpoint(cfg.ckpt, cfg.fingerprint());
+      if (cfg.ckpt.resume && !cfg.ckpt.dir.empty()) {
+        // Resume from the newest *valid* snapshot; torn or corrupt files are
+        // skipped by the loader, and with none usable the run starts fresh.
+        if (auto snap = ckpt::load_latest(cfg.ckpt.dir, cfg.fingerprint()))
+          ssys.resume_from(*snap);
+      }
+    }
     ssys.run();
     result.metrics = ssys.collect_stats().all();
     emit_artifacts(nullptr);

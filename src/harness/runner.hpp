@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/options.hpp"
 #include "multi/mix.hpp"
 #include "obs/recorder.hpp"
 #include "serve/options.hpp"
@@ -68,6 +69,12 @@ struct RunConfig {
   multi::MultiOptions multi{}; ///< colocation knobs; ignored for single apps
   serve::ServeOptions serve{}; ///< open-arrival serving (docs/serving.md)
   ObsOptions obs{};            ///< not fingerprinted; see ObsOptions
+  /// Quiescent-point checkpointing for serving runs (docs/serving.md
+  /// §checkpoint/restore). Only the simulated-behavior knobs (cadence,
+  /// settle grace) enter the fingerprint; dir/resume/keep are harness
+  /// plumbing. Enabling it bypasses the results cache — a memoized run
+  /// never simulates, so it cannot publish snapshots.
+  ckpt::Options ckpt{};
 
   std::uint64_t fingerprint() const;
   /// One-line human description (workload, policy, params, fault plan) —

@@ -50,6 +50,20 @@ class MemController {
     queue_sink_ = sink;
   }
 
+  // --- checkpoint fold (tdn::ckpt) -------------------------------------
+  /// Queue-delay numerator/denominator for exact mean recombination.
+  double queue_delay_total() const noexcept { return queue_delay_.total(); }
+  double queue_delay_weight() const noexcept { return queue_delay_.weight(); }
+  /// Fold-and-reset traffic counters at a quiescent checkpoint boundary.
+  /// next_free_ is preserved deliberately: an injected stall horizon can
+  /// extend past the boundary, and the restore path replays it via
+  /// inject_stall so both lineages see the same horizon.
+  void ckpt_reset_stats() noexcept {
+    reads_.reset();
+    writes_.reset();
+    queue_delay_.reset();
+  }
+
  private:
   DramConfig cfg_;
   Cycle next_free_ = 0;

@@ -51,6 +51,31 @@ class PageTable {
   std::uint64_t mapped_pages() const noexcept { return va_to_pa_.size(); }
   std::uint64_t frames_used() const noexcept { return next_frame_; }
 
+  // --- checkpoint/restore (tdn::ckpt) ----------------------------------
+  /// The allocator's derived-PRNG position plus frame bookkeeping — the
+  /// part of page-table state that is NOT reconstructible from the request
+  /// stream (fragmentation decisions consumed PRNG samples). Snapshotted
+  /// verbatim so a restored run's first-touch allocations continue the
+  /// exact sample sequence the uninterrupted run would have drawn.
+  struct AllocState {
+    std::uint64_t next_frame = 0;
+    std::uint64_t rng_state = 0;
+    std::vector<std::uint64_t> skipped_frames;
+  };
+  AllocState alloc_state() const {
+    return AllocState{next_frame_, rng_.state(), skipped_frames_};
+  }
+  void set_alloc_state(const AllocState& s) {
+    next_frame_ = s.next_frame;
+    rng_.set_state(s.rng_state);
+    skipped_frames_ = s.skipped_frames;
+  }
+  /// Drop every VA→PA mapping but keep the allocator position (see
+  /// AllocState). Checkpoint cold-normalization: retired requests' private
+  /// regions must not alias live ones after restore, and the continuing
+  /// lineage performs the same drop so both re-map identically.
+  void ckpt_drop_mappings() { va_to_pa_.clear(); }
+
  private:
   Addr allocate_frame();
 

@@ -83,6 +83,17 @@ class RNucaPolicy final : public MappingPolicy {
   }
   std::uint64_t page_flushes() const noexcept { return page_flushes_.value(); }
 
+  // --- checkpoint cold-normalization (tdn::ckpt) ------------------------
+  /// Drop every page classification and fold-and-reset the counters. Run at
+  /// a quiescent checkpoint boundary in both lineages: the restored run's
+  /// page table starts unmapped, so stale classifications keyed by retired
+  /// vpages must not survive either.
+  void ckpt_reset() {
+    pages_.clear();
+    reclassifications_.reset();
+    page_flushes_.reset();
+  }
+
  private:
   struct PageState {
     PageClass cls = PageClass::Private;

@@ -114,6 +114,24 @@ class LatencyHistogram {
     return os.str();
   }
 
+  // --- checkpoint/restore (tdn::ckpt) -----------------------------------
+  /// Raw count of bucket @p idx — snapshot encoding walks the (sparse)
+  /// nonzero buckets.
+  std::uint64_t bucket_count(std::size_t idx) const {
+    return counts_.at(idx);
+  }
+  /// Overwrite the full histogram state from a decoded snapshot. The
+  /// restored object is bit-identical to the one snapshotted: every
+  /// percentile walk, mean and summary reproduces exactly.
+  void restore(const std::array<std::uint64_t, kBuckets>& counts,
+               std::uint64_t count, Cycle sum, Cycle min, Cycle max) noexcept {
+    counts_ = counts;
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> counts_{};
   std::uint64_t count_ = 0;

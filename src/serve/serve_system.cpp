@@ -1,6 +1,7 @@
 #include "serve/serve_system.hpp"
 
 #include <algorithm>
+#include <array>
 #include <string>
 
 #include "common/require.hpp"
@@ -24,6 +25,7 @@ ServeSystem::ServeSystem(system::SystemConfig cfg, multi::MixSpec tenants,
   if (opts_.adaptive) TDN_REQUIRE(opts_.epoch > 0, "adaptive needs an epoch");
   qos_.resize(tenants_.apps.size());
   epoch_admitted_.assign(tenants_.apps.size(), 0);
+  slot_baseline_.resize(opts_.slots);
 
   net_ = std::make_unique<noc::Network>(mesh_, eq_, cfg_.network);
 
@@ -162,17 +164,89 @@ Cycle ServeSystem::run(Cycle cycle_limit) {
   TDN_REQUIRE(built_, "call build() before run()");
   TDN_REQUIRE(!ran_, "run() already called");
   ran_ = true;
+  // Restored lineage: jump the fresh queue's clock to the quiescent point
+  // first, so everything below schedules at absolute post-restore cycles.
+  if (resumed_) eq_.fast_forward(resume_cycle_);
   if (rec_ != nullptr) rec_->arm(eq_);
-  if (injector_) injector_->arm();
-  arrivals_remaining_ = requests_.size();
-  for (unsigned i = 0; i < requests_.size(); ++i)
-    eq_.schedule_at(requests_[i].arrive, [this, i] { on_arrival(i); });
+  if (injector_) {
+    // Scheduling order is load-bearing for same-cycle ties: plan events get
+    // the lowest sequence numbers (before arrivals), exactly as in the
+    // original lineage, so a fault and an arrival on the same cycle keep
+    // their relative order across a restore.
+    if (resumed_)
+      injector_->arm_from(resume_cycle_);
+    else
+      injector_->arm();
+  }
+  const std::size_t first = resumed_ ? static_cast<std::size_t>(cursor_) : 0;
+  arrivals_remaining_ = requests_.size() - first;
+  for (std::size_t i = first; i < requests_.size(); ++i) {
+    const unsigned rid = static_cast<unsigned>(i);
+    eq_.schedule_at(requests_[i].arrive, [this, rid] { on_arrival(rid); });
+  }
   // The mix sampler rides *real* events: it mutates future scheduling, so
   // it must be part of the simulation proper (obs observer events must
   // never change behavior). The chain ends itself once the system drains.
-  if (opts_.adaptive && !requests_.empty())
-    eq_.schedule_in(opts_.epoch, [this] { epoch_tick(); });
-  if (requests_.empty()) completed_ = true;
+  // Restored lineages re-arm both periodic chains at the exact absolute
+  // cycles recorded in the snapshot (a tick can be pending at the fold
+  // cycle itself when settle_grace exceeds the epoch) — and in this order,
+  // after arrivals and before the re-dispatch pump below, reproducing the
+  // original lineage's sequence-number tie order.
+  if (!resumed_) {
+    if (opts_.adaptive && !requests_.empty()) {
+      tick_alive_ = true;
+      next_tick_at_ = opts_.epoch;
+      eq_.schedule_in(opts_.epoch, [this] { epoch_tick(); });
+    }
+    if (ckpt_active() && !opts_.adaptive && !requests_.empty()) {
+      marker_alive_ = true;
+      next_marker_at_ = ckpt_.every;
+      eq_.schedule_at(ckpt_.every, [this] { ckpt_marker(); });
+    }
+  } else {
+    if (tick_alive_)
+      eq_.schedule_at(next_tick_at_, [this] { epoch_tick(); });
+    if (marker_alive_)
+      eq_.schedule_at(next_marker_at_, [this] { ckpt_marker(); });
+  }
+  if (!resumed_ && requests_.empty()) completed_ = true;
+  if (resumed_) {
+    // The snapshot captured the pending queue *before* the post-fold pump;
+    // the original lineage pumped inside the fold event, we pump here —
+    // same cycle, same dispatch order, same derived seeds.
+    if (arrivals_remaining_ == 0 && pending_.empty() &&
+        done_ + shed_ == offered_)
+      completed_ = true;
+    pump();
+  }
+  if (cfg_.fault.watchdog_budget > 0) {
+    watchdog_ =
+        std::make_unique<fault::Watchdog>(eq_, cfg_.fault.watchdog_budget);
+    // Witness: memory-system traffic plus admission outcomes. Any of these
+    // moving within a budget window is forward progress; a checkpoint fold
+    // resets the cache counters, which the inequality test also counts as
+    // progress (a fold IS progress).
+    watchdog_->set_progress([this] {
+      const auto& cs = caches_->stats();
+      return cs.l1_hits.value() + cs.l1_misses.value() + offered_ + done_ +
+             shed_;
+    });
+    watchdog_->add_diagnostic("serve", [this] {
+      std::string s = "offered=" + std::to_string(offered_) +
+                      " done=" + std::to_string(done_) +
+                      " shed=" + std::to_string(shed_) +
+                      " pending=" + std::to_string(pending_.size()) +
+                      " draining=" + std::to_string(draining_ ? 1 : 0);
+      return s;
+    });
+    watchdog_->add_diagnostic("checkpoint", [this] {
+      if (!ckpt_active()) return std::string("disabled");
+      return "dir=" + (ckpt_.dir.empty() ? std::string("<none>") : ckpt_.dir) +
+             " written=" + std::to_string(snapshots_written_) +
+             " (resume the newest snapshot with ckpt.resume=true)";
+    });
+    watchdog_->arm();
+  }
   eq_.run_until(cycle_limit);
   TDN_REQUIRE(completed_,
               "serving drained without completing every admitted request");
@@ -187,15 +261,22 @@ bool ServeSystem::any_busy() const noexcept {
 }
 
 void ServeSystem::on_arrival(unsigned rid) {
+  poll_interrupt();
   --arrivals_remaining_;
   Request& r = requests_[rid];
   ++offered_;
   ++qos_[r.tenant].offered;
-  for (unsigned s = 0; s < slots_.size(); ++s) {
-    if (!slots_[s].busy) {
-      ++epoch_admitted_[r.tenant];
-      dispatch(s, rid);
-      return;
+  // While draining toward a checkpoint boundary no new request may start
+  // (quiescence means idle slots); arrivals queue (or shed) instead. This
+  // admission detour is simulated checkpoint cost, identical in the
+  // original and every restored lineage — the cadence is fingerprinted.
+  if (!draining_) {
+    for (unsigned s = 0; s < slots_.size(); ++s) {
+      if (!slots_[s].busy) {
+        ++epoch_admitted_[r.tenant];
+        dispatch(s, rid);
+        return;
+      }
     }
   }
   if (pending_.size() < opts_.max_pending) {
@@ -346,9 +427,11 @@ void ServeSystem::on_complete(unsigned s, unsigned rid) {
 
   if (arrivals_remaining_ == 0 && done_ + shed_ == offered_)
     completed_ = true;
+  poll_interrupt();
 }
 
 void ServeSystem::pump() {
+  if (draining_) return;  // refills resume at the fold
   while (!pending_.empty()) {
     int free_slot = -1;
     for (unsigned s = 0; s < slots_.size(); ++s)
@@ -364,6 +447,7 @@ void ServeSystem::pump() {
 }
 
 void ServeSystem::epoch_tick() {
+  tick_alive_ = false;
   std::uint64_t total = 0;
   for (std::uint64_t c : epoch_admitted_) total += c;
   if (total > 0) {
@@ -380,8 +464,18 @@ void ServeSystem::epoch_tick() {
     }
     std::fill(epoch_admitted_.begin(), epoch_admitted_.end(), 0);
   }
-  if (arrivals_remaining_ > 0 || !pending_.empty() || any_busy())
+  if (arrivals_remaining_ > 0 || !pending_.empty() || any_busy()) {
+    tick_alive_ = true;
+    next_tick_at_ = eq_.now() + opts_.epoch;
     eq_.schedule_in(opts_.epoch, [this] { epoch_tick(); });
+  }
+  // Adaptive + checkpointing: the cadence is a multiple of the epoch
+  // (enforced by set_checkpoint), so the drain rides this chain — there is
+  // never a separate marker event to race the tick at the same cycle.
+  if (ckpt_active() && opts_.adaptive && tick_alive_ && !draining_ &&
+      eq_.now() > 0 && eq_.now() % ckpt_.every == 0)
+    begin_drain(/*emergency=*/false);
+  poll_interrupt();
 }
 
 void ServeSystem::register_observability() {
@@ -462,35 +556,423 @@ void ServeSystem::register_observability() {
   });
 }
 
+// --- checkpoint machinery (tdn::ckpt) --------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kPayloadVersion = 1;
+
+/// Sparse histogram encoding: (count, sum, min, max) then the nonzero
+/// buckets as (index, count) pairs. Bit-exact: restore() reproduces every
+/// percentile walk identically.
+void encode_hist(ckpt::Encoder& e, const obs::LatencyHistogram& h) {
+  e.u64(h.count());
+  e.u64(h.sum());
+  e.u64(h.min());
+  e.u64(h.max());
+  std::uint64_t nonzero = 0;
+  for (std::size_t i = 0; i < obs::LatencyHistogram::kBuckets; ++i)
+    if (h.bucket_count(i) != 0) ++nonzero;
+  e.u64(nonzero);
+  for (std::size_t i = 0; i < obs::LatencyHistogram::kBuckets; ++i) {
+    if (h.bucket_count(i) != 0) {
+      e.u64(i);
+      e.u64(h.bucket_count(i));
+    }
+  }
+}
+
+void decode_hist(ckpt::Decoder& d, obs::LatencyHistogram& h) {
+  const std::uint64_t count = d.u64();
+  const Cycle sum = d.u64();
+  const Cycle mn = d.u64();
+  const Cycle mx = d.u64();
+  std::array<std::uint64_t, obs::LatencyHistogram::kBuckets> counts{};
+  const std::uint64_t nonzero = d.u64();
+  std::uint64_t total = 0;
+  for (std::uint64_t k = 0; k < nonzero; ++k) {
+    const std::uint64_t idx = d.u64();
+    if (idx >= obs::LatencyHistogram::kBuckets)
+      throw ckpt::SnapshotError("snapshot histogram bucket out of range");
+    counts[static_cast<std::size_t>(idx)] = d.u64();
+    total += counts[static_cast<std::size_t>(idx)];
+  }
+  if (total != count)
+    throw ckpt::SnapshotError("snapshot histogram bucket/count mismatch");
+  h.restore(counts, count, sum, mn, mx);
+}
+
+}  // namespace
+
+void ServeSystem::set_checkpoint(const ckpt::Options& opts,
+                                 std::uint64_t config_fingerprint) {
+  TDN_REQUIRE(!ran_, "set_checkpoint must precede run()");
+  TDN_REQUIRE(opts.enabled(), "checkpointing needs a cadence (every > 0)");
+  TDN_REQUIRE(opts.settle_grace >= 1, "settle grace must be >= 1 cycle");
+  TDN_REQUIRE(!opts_.adaptive || opts.every % opts_.epoch == 0,
+              "adaptive serving: checkpoint cadence must be a multiple of "
+              "the adaptation epoch (the drain rides the epoch-tick chain, "
+              "so tick-vs-marker tie order can never diverge on restore)");
+  ckpt_ = opts;
+  ckpt_fingerprint_ = config_fingerprint;
+}
+
+void ServeSystem::poll_interrupt() {
+  if (!ckpt_active() || draining_ || !ckpt::interrupt_requested()) return;
+  begin_drain(/*emergency=*/true);
+}
+
+void ServeSystem::begin_drain(bool emergency) {
+  TDN_ASSERT(!draining_);
+  draining_ = true;
+  emergency_ = emergency;
+  eq_.schedule_in(ckpt_.settle_grace, [this] { ckpt_settle(); });
+}
+
+void ServeSystem::ckpt_marker() {
+  marker_alive_ = false;
+  poll_interrupt();  // an emergency drain outranks the cadence one
+  if (arrivals_remaining_ == 0 && pending_.empty() && !any_busy() &&
+      !draining_)
+    return;  // served everything: the chain dies with the system
+  marker_alive_ = true;
+  next_marker_at_ = eq_.now() + ckpt_.every;
+  eq_.schedule_at(next_marker_at_, [this] { ckpt_marker(); });
+  if (!draining_) begin_drain(/*emergency=*/false);
+}
+
+void ServeSystem::ckpt_settle() {
+  TDN_ASSERT(draining_);
+  if (!quiescent()) {
+    eq_.schedule_in(ckpt_.settle_grace, [this] { ckpt_settle(); });
+    return;
+  }
+  ckpt_fold();
+}
+
+bool ServeSystem::quiescent() const {
+  if (any_busy()) return false;
+  // Exact event census: every pending *real* event must be expected future
+  // work. In-flight coherence/NoC/DRAM events, retired runtimes' trailing
+  // flush joiners, fault-recovery flushes and zero-delay pump events all
+  // make real_pending exceed this count until they finish draining.
+  std::size_t expected = static_cast<std::size_t>(arrivals_remaining_);
+  if (tick_alive_) ++expected;
+  if (marker_alive_) ++expected;
+  if (injector_) expected += injector_->plan_pending();
+  return eq_.real_pending() == expected;
+}
+
+void ServeSystem::ckpt_fold() {
+  TDN_ASSERT(draining_ && quiescent());
+  const Cycle cyc = eq_.now();
+  fold_machine_counters();
+  cold_normalize();
+  // Quiescence proves no event references retired request state: dropping
+  // the graveyard here (in both lineages) bounds a long run's memory.
+  graveyard_.clear();
+  const std::string payload = encode_snapshot();
+  draining_ = false;
+  if (!ckpt_.dir.empty()) {
+    if (ckpt::write_snapshot(ckpt_, ckpt_fingerprint_, cyc, payload,
+                             emergency_))
+      ++snapshots_written_;
+  }
+  if (emergency_) {
+    emergency_ = false;
+    throw ckpt::InterruptedError(
+        std::string("serving interrupted at cycle ") + std::to_string(cyc) +
+        (ckpt_.dir.empty() ? " (no checkpoint directory configured)"
+                           : " (emergency snapshot published)"));
+  }
+  pump();  // the restored lineage pumps in run() at this same cycle
+}
+
+void ServeSystem::fold_machine_counters() {
+  const auto& cs = caches_->stats();
+  baseline_.en.l1_hits += cs.l1_hits.value();
+  baseline_.en.l1_misses += cs.l1_misses.value();
+  baseline_.en.flush_l1_lines += cs.flush_l1_lines.value();
+  baseline_.en.llc_requests += cs.llc_requests.value();
+  baseline_.en.llc_misses += cs.llc_misses.value();
+  baseline_.en.llc_writebacks += cs.llc_writebacks.value();
+  baseline_.en.flush_llc_lines += cs.flush_llc_lines.value();
+  baseline_.en.noc_router_bytes += net_->total_router_bytes();
+  baseline_.en.dram_accesses += mcs_->total_accesses();
+  baseline_.llc_hits += cs.llc_hits.value();
+  baseline_.bypass_reads += cs.bypass_reads.value();
+  baseline_.noc_messages += net_->messages();
+  baseline_.nuca_total += cs.nuca_distance.total();
+  baseline_.nuca_weight += cs.nuca_distance.weight();
+  baseline_.miss_lat_total += cs.miss_latency.total();
+  baseline_.miss_lat_weight += cs.miss_latency.weight();
+  for (unsigned s = 0; s < opts_.slots; ++s) {
+    if (slots_[s].tdnuca)
+      baseline_.en.rrt_lookups +=
+          slots_[s].tdnuca->rrt_hits() + slots_[s].tdnuca->rrt_misses();
+    const auto& ac = caches_->app_counters(s);
+    SlotBaseline& sb = slot_baseline_[s];
+    sb.llc_requests += ac.llc_requests;
+    sb.llc_hits += ac.llc_hits;
+    sb.llc_misses += ac.llc_misses;
+    sb.llc_writebacks += ac.llc_writebacks;
+    sb.bypass_reads += ac.bypass_reads;
+  }
+  caches_->ckpt_reset_stats();
+  net_->ckpt_reset_stats();
+  for (unsigned m = 0; m < mcs_->count(); ++m) mcs_->mc(m).ckpt_reset_stats();
+}
+
+void ServeSystem::cold_normalize() {
+  caches_->ckpt_cold_reset();
+  // Stale TLB entries can never *match* a future request's slice (slices
+  // are generation-unique), but their residency would skew replacement —
+  // the restored lineage's TLBs are empty, so the continuing one's must be.
+  for (auto& core : cores_) core->tlb().invalidate_all();
+  for (Slot& slot : slots_) {
+    if (slot.tdnuca) slot.tdnuca->ckpt_reset();
+    if (slot.rnuca) slot.rnuca->ckpt_reset();
+  }
+  page_table_.ckpt_drop_mappings();
+}
+
+std::string ServeSystem::encode_snapshot() const {
+  ckpt::Encoder e;
+  e.u32(kPayloadVersion);
+  e.u64(requests_.size() - arrivals_remaining_);  // arrival cursor
+  e.u64(pending_.size());
+  for (unsigned rid : pending_) e.u64(rid);
+  e.u64(offered_);
+  e.u64(shed_);
+  e.u64(done_);
+  e.u64(tasks_total_);
+  e.u64(queue_max_depth_);
+  e.u64(makespan_);
+  e.u64(policy_switches_);
+  e.u8(use_tdnuca_ ? 1 : 0);
+  // Periodic chains: the *absolute* pending cycle (0 = chain dead). A tick
+  // can be pending at the fold cycle itself (settle_grace > epoch), so this
+  // must be recorded, never re-derived from the cadence.
+  e.u64(tick_alive_ ? next_tick_at_ : 0);
+  e.u64(marker_alive_ ? next_marker_at_ : 0);
+  e.u64_vec(epoch_admitted_);
+  e.u64(qos_.size());
+  for (const TenantQos& q : qos_) {
+    e.u64(q.offered);
+    e.u64(q.shed);
+    e.u64(q.completed);
+    encode_hist(e, q.sojourn);
+    encode_hist(e, q.queue_wait);
+    encode_hist(e, q.service);
+  }
+  encode_hist(e, sojourn_);
+  encode_hist(e, queue_wait_);
+  encode_hist(e, service_);
+  e.u64(slots_.size());
+  for (unsigned s = 0; s < slots_.size(); ++s) {
+    e.u64(slots_[s].generation);
+    const SlotBaseline& sb = slot_baseline_[s];
+    e.u64(sb.llc_requests);
+    e.u64(sb.llc_hits);
+    e.u64(sb.llc_misses);
+    e.u64(sb.llc_writebacks);
+    e.u64(sb.bypass_reads);
+  }
+  // Machine baseline (fresh counters were just folded and reset, so the
+  // baseline alone is the cumulative machine history). The events field
+  // carries a +1 compensation: the fold event executing right now is
+  // counted by the live queue only after its action returns, but it
+  // belongs to the restored lineage's past.
+  e.u64(baseline_.events + eq_.executed() + 1);
+  e.u64(baseline_.llc_hits);
+  e.u64(baseline_.bypass_reads);
+  e.u64(baseline_.noc_messages);
+  e.u64(baseline_.en.llc_requests);
+  e.u64(baseline_.en.llc_misses);
+  e.u64(baseline_.en.llc_writebacks);
+  e.u64(baseline_.en.flush_llc_lines);
+  e.u64(baseline_.en.l1_hits);
+  e.u64(baseline_.en.l1_misses);
+  e.u64(baseline_.en.flush_l1_lines);
+  e.u64(baseline_.en.noc_router_bytes);
+  e.u64(baseline_.en.dram_accesses);
+  e.u64(baseline_.en.rrt_lookups);
+  e.f64(baseline_.nuca_total);
+  e.f64(baseline_.nuca_weight);
+  e.f64(baseline_.miss_lat_total);
+  e.f64(baseline_.miss_lat_weight);
+  // Derived-PRNG position of the page allocator: a restored run's
+  // first-touch allocations continue the exact fragmentation sample
+  // sequence the snapshotted lineage would have drawn.
+  const mem::PageTable::AllocState as = page_table_.alloc_state();
+  e.u64(as.next_frame);
+  e.u64(as.rng_state);
+  e.u64_vec(as.skipped_frames);
+  return e.take();
+}
+
+void ServeSystem::resume_from(const ckpt::Snapshot& snap) {
+  TDN_REQUIRE(built_, "call build() before resume_from()");
+  TDN_REQUIRE(!ran_, "resume_from must precede run()");
+  TDN_REQUIRE(ckpt_active(), "call set_checkpoint() before resume_from()");
+  TDN_REQUIRE(snap.config_fingerprint == ckpt_fingerprint_,
+              "snapshot belongs to a different configuration");
+  ckpt::Decoder d(snap.payload);
+  if (d.u32() != kPayloadVersion)
+    throw ckpt::SnapshotError("unsupported snapshot payload version");
+  cursor_ = d.u64();
+  if (cursor_ > requests_.size())
+    throw ckpt::SnapshotError("snapshot cursor beyond the regenerated trace");
+  // The cursor must split the regenerated trace exactly at the snapshot
+  // cycle — anything else means the trace (seed/spec) drifted.
+  if (cursor_ > 0 && requests_[cursor_ - 1].arrive > snap.cycle)
+    throw ckpt::SnapshotError("snapshot cursor disagrees with the trace");
+  if (cursor_ < requests_.size() && requests_[cursor_].arrive <= snap.cycle)
+    throw ckpt::SnapshotError("snapshot cursor disagrees with the trace");
+  const std::uint64_t npend = d.u64();
+  pending_.clear();
+  for (std::uint64_t i = 0; i < npend; ++i) {
+    const std::uint64_t rid = d.u64();
+    if (rid >= cursor_)
+      throw ckpt::SnapshotError("snapshot pending request never arrived");
+    pending_.push_back(static_cast<unsigned>(rid));
+  }
+  offered_ = d.u64();
+  shed_ = d.u64();
+  done_ = d.u64();
+  tasks_total_ = d.u64();
+  queue_max_depth_ = static_cast<std::size_t>(d.u64());
+  makespan_ = d.u64();
+  policy_switches_ = d.u64();
+  use_tdnuca_ = d.u8() != 0;
+  next_tick_at_ = d.u64();
+  tick_alive_ = next_tick_at_ != 0;
+  next_marker_at_ = d.u64();
+  marker_alive_ = next_marker_at_ != 0;
+  if ((tick_alive_ && next_tick_at_ < snap.cycle) ||
+      (marker_alive_ && next_marker_at_ < snap.cycle))
+    throw ckpt::SnapshotError("snapshot periodic chain is in the past");
+  {
+    auto ea = d.u64_vec();
+    if (ea.size() != epoch_admitted_.size())
+      throw ckpt::SnapshotError("snapshot tenant count mismatch");
+    epoch_admitted_ = std::move(ea);
+  }
+  if (d.u64() != qos_.size())
+    throw ckpt::SnapshotError("snapshot tenant count mismatch");
+  for (TenantQos& q : qos_) {
+    q.offered = d.u64();
+    q.shed = d.u64();
+    q.completed = d.u64();
+    decode_hist(d, q.sojourn);
+    decode_hist(d, q.queue_wait);
+    decode_hist(d, q.service);
+  }
+  decode_hist(d, sojourn_);
+  decode_hist(d, queue_wait_);
+  decode_hist(d, service_);
+  if (d.u64() != slots_.size())
+    throw ckpt::SnapshotError("snapshot slot count mismatch");
+  for (unsigned s = 0; s < slots_.size(); ++s) {
+    slots_[s].generation = static_cast<unsigned>(d.u64());
+    SlotBaseline& sb = slot_baseline_[s];
+    sb.llc_requests = d.u64();
+    sb.llc_hits = d.u64();
+    sb.llc_misses = d.u64();
+    sb.llc_writebacks = d.u64();
+    sb.bypass_reads = d.u64();
+  }
+  baseline_.events = d.u64();
+  baseline_.llc_hits = d.u64();
+  baseline_.bypass_reads = d.u64();
+  baseline_.noc_messages = d.u64();
+  baseline_.en.llc_requests = d.u64();
+  baseline_.en.llc_misses = d.u64();
+  baseline_.en.llc_writebacks = d.u64();
+  baseline_.en.flush_llc_lines = d.u64();
+  baseline_.en.l1_hits = d.u64();
+  baseline_.en.l1_misses = d.u64();
+  baseline_.en.flush_l1_lines = d.u64();
+  baseline_.en.noc_router_bytes = d.u64();
+  baseline_.en.dram_accesses = d.u64();
+  baseline_.en.rrt_lookups = d.u64();
+  baseline_.nuca_total = d.f64();
+  baseline_.nuca_weight = d.f64();
+  baseline_.miss_lat_total = d.f64();
+  baseline_.miss_lat_weight = d.f64();
+  mem::PageTable::AllocState as;
+  as.next_frame = d.u64();
+  as.rng_state = d.u64();
+  as.skipped_frames = d.u64_vec();
+  page_table_.set_alloc_state(as);
+  if (!d.done())
+    throw ckpt::SnapshotError("snapshot payload has trailing bytes");
+  // Admission conservation must hold at any quiescent point.
+  if (done_ + shed_ + pending_.size() != offered_)
+    throw ckpt::SnapshotError("snapshot violates admission conservation");
+  resumed_ = true;
+  resume_cycle_ = snap.cycle;
+}
+
 stats::Registry ServeSystem::collect_stats() const {
   stats::Registry r;
   const unsigned n = cfg_.num_cores();
   const auto& cs = caches_->stats();
 
-  r.set("sim.cycles", static_cast<double>(makespan_));
-  r.set("sim.events", static_cast<double>(eq_.executed()));
-  r.set("tasks.completed", static_cast<double>(tasks_total_));
-  r.set("l1.hits", static_cast<double>(cs.l1_hits.value()));
-  r.set("l1.misses", static_cast<double>(cs.l1_misses.value()));
-  r.set("llc.requests", static_cast<double>(cs.llc_requests.value()));
-  r.set("llc.hits", static_cast<double>(cs.llc_hits.value()));
-  r.set("llc.misses", static_cast<double>(cs.llc_misses.value()));
-  r.set("llc.writebacks", static_cast<double>(cs.llc_writebacks.value()));
-  r.set("llc.accesses", static_cast<double>(caches_->llc_accesses()));
-  r.set("llc.hit_ratio", caches_->llc_hit_ratio());
-  r.set("llc.bypass_reads", static_cast<double>(cs.bypass_reads.value()));
-  r.set("nuca.mean_distance", cs.nuca_distance.mean());
-  r.set("l1.mean_miss_latency", cs.miss_latency.mean());
-  r.set("noc.router_bytes", static_cast<double>(net_->total_router_bytes()));
-  r.set("noc.messages", static_cast<double>(net_->messages()));
-  r.set("dram.accesses", static_cast<double>(mcs_->total_accesses()));
-
-  std::uint64_t rrt_lookups = 0;
+  // Every machine-level metric is `baseline + fresh`: checkpoint folds move
+  // the live counters into baseline_ and reset them, so with checkpointing
+  // off the baseline is zero and these reduce to the original expressions
+  // bit-for-bit (0 + x and 0.0 + x are exact for the finite values here;
+  // integer counts combine as u64 before any double conversion).
+  energy::EnergyInputs en = baseline_.en;
+  en.llc_requests += cs.llc_requests.value();
+  en.llc_misses += cs.llc_misses.value();
+  en.llc_writebacks += cs.llc_writebacks.value();
+  en.flush_llc_lines += cs.flush_llc_lines.value();
+  en.l1_hits += cs.l1_hits.value();
+  en.l1_misses += cs.l1_misses.value();
+  en.flush_l1_lines += cs.flush_l1_lines.value();
+  en.noc_router_bytes += net_->total_router_bytes();
+  en.dram_accesses += mcs_->total_accesses();
   for (const Slot& slot : slots_)
     if (slot.tdnuca)
-      rrt_lookups += slot.tdnuca->rrt_hits() + slot.tdnuca->rrt_misses();
-  const auto e = energy::compute_energy(*caches_, *net_, *mcs_, rrt_lookups,
-                                        energy::EnergyParams{});
+      en.rrt_lookups += slot.tdnuca->rrt_hits() + slot.tdnuca->rrt_misses();
+  const std::uint64_t llc_hits = baseline_.llc_hits + cs.llc_hits.value();
+
+  r.set("sim.cycles", static_cast<double>(makespan_));
+  r.set("sim.events", static_cast<double>(baseline_.events + eq_.executed()));
+  r.set("tasks.completed", static_cast<double>(tasks_total_));
+  r.set("l1.hits", static_cast<double>(en.l1_hits));
+  r.set("l1.misses", static_cast<double>(en.l1_misses));
+  r.set("llc.requests", static_cast<double>(en.llc_requests));
+  r.set("llc.hits", static_cast<double>(llc_hits));
+  r.set("llc.misses", static_cast<double>(en.llc_misses));
+  r.set("llc.writebacks", static_cast<double>(en.llc_writebacks));
+  r.set("llc.accesses",
+        static_cast<double>(en.llc_requests + en.llc_writebacks));
+  {
+    const double h = static_cast<double>(llc_hits);
+    const double m = static_cast<double>(en.llc_misses);
+    r.set("llc.hit_ratio", (h + m) > 0 ? h / (h + m) : 0.0);
+  }
+  r.set("llc.bypass_reads",
+        static_cast<double>(baseline_.bypass_reads + cs.bypass_reads.value()));
+  {
+    const double w = baseline_.nuca_weight + cs.nuca_distance.weight();
+    const double s = baseline_.nuca_total + cs.nuca_distance.total();
+    r.set("nuca.mean_distance", w > 0 ? s / w : 0.0);
+  }
+  {
+    const double w = baseline_.miss_lat_weight + cs.miss_latency.weight();
+    const double s = baseline_.miss_lat_total + cs.miss_latency.total();
+    r.set("l1.mean_miss_latency", w > 0 ? s / w : 0.0);
+  }
+  r.set("noc.router_bytes", static_cast<double>(en.noc_router_bytes));
+  r.set("noc.messages",
+        static_cast<double>(baseline_.noc_messages + net_->messages()));
+  r.set("dram.accesses", static_cast<double>(en.dram_accesses));
+
+  const auto e = energy::compute_energy(en, energy::EnergyParams{});
   r.set("energy.llc_pj", e.llc_pj);
   r.set("energy.noc_pj", e.noc_pj);
   r.set("energy.dram_pj", e.dram_pj);
@@ -550,13 +1032,16 @@ stats::Registry ServeSystem::collect_stats() const {
     emit_hist(p + ".queue_wait", q.queue_wait);
   }
 
-  // Per-slot LLC view (the AppView counters).
+  // Per-slot LLC view (the AppView counters, plus their folded baselines).
   for (unsigned s = 0; s < opts_.slots; ++s) {
     const auto& ac = caches_->app_counters(s);
+    const SlotBaseline& sb = slot_baseline_[s];
     const std::string p = "serve.slot" + std::to_string(s);
-    r.set(p + ".llc.requests", static_cast<double>(ac.llc_requests));
-    r.set(p + ".llc.hits", static_cast<double>(ac.llc_hits));
-    r.set(p + ".llc.misses", static_cast<double>(ac.llc_misses));
+    r.set(p + ".llc.requests",
+          static_cast<double>(sb.llc_requests + ac.llc_requests));
+    r.set(p + ".llc.hits", static_cast<double>(sb.llc_hits + ac.llc_hits));
+    r.set(p + ".llc.misses",
+          static_cast<double>(sb.llc_misses + ac.llc_misses));
     r.set(p + ".requests_served", static_cast<double>(slots_[s].generation));
   }
   (void)n;

@@ -26,6 +26,18 @@
 // single-threaded event loop serves everything, per-request seeds derive
 // from the request id alone — runs are bit-identical across repetitions and
 // SweepRunner job counts, and cacheable like any RunConfig.
+//
+// Checkpoint/restore (tdn::ckpt, docs/serving.md §checkpointing): with
+// set_checkpoint(), the run periodically drains to a dispatch-boundary
+// quiescent point (no slot busy, no transaction in flight), folds every
+// machine counter into a baseline, cold-normalizes the machine (arrays,
+// TLBs, RRTs, page classifications, VA mappings) and publishes a crash-safe
+// snapshot of the logical serving state. Because the continuing run performs
+// the *same* fold and cold-reset it snapshots, a run restored from any
+// snapshot replays the identical event stream: end-of-run metrics — counts,
+// means, energies, and every tail percentile — are bit-identical to the
+// uninterrupted run's. Checkpoint cadence is simulated behavior and enters
+// the fingerprint via ckpt::Options::canonical().
 #pragma once
 
 #include <deque>
@@ -33,7 +45,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "coherence/coherent_system.hpp"
+#include "energy/energy_model.hpp"
+#include "fault/watchdog.hpp"
 #include "core/sim_core.hpp"
 #include "fault/injector.hpp"
 #include "mem/address_space.hpp"
@@ -94,6 +109,31 @@ class ServeSystem {
   /// request completed (the makespan). @p cycle_limit guards tests.
   Cycle run(Cycle cycle_limit = kNeverCycle);
   bool completed() const noexcept { return completed_; }
+
+  // --- checkpoint/restore (tdn::ckpt) -----------------------------------
+  /// Enable quiescent-point checkpointing. @p opts.every is the sim-time
+  /// cadence (behavioral: it enters the run's fingerprint — pass that
+  /// fingerprint hash as @p config_fingerprint so snapshot files bind to
+  /// this exact configuration). Under adaptive switching the cadence must
+  /// be a multiple of opts_.epoch: the drain rides the epoch-tick chain, so
+  /// marker-vs-tick tie ordering can never diverge between the original and
+  /// a restored lineage. Call before run().
+  void set_checkpoint(const ckpt::Options& opts,
+                      std::uint64_t config_fingerprint);
+  /// Rebuild the logical serving state from a validated snapshot (same
+  /// fingerprint, produced by an identically configured run). Call after
+  /// build() and before run(); run() then resumes at snap.cycle. Throws
+  /// ckpt::SnapshotError on any payload inconsistency.
+  void resume_from(const ckpt::Snapshot& snap);
+  bool resumed() const noexcept { return resumed_; }
+  Cycle resume_cycle() const noexcept { return resume_cycle_; }
+  /// Snapshots successfully published by this run.
+  std::uint64_t snapshots_written() const noexcept {
+    return snapshots_written_;
+  }
+  /// The liveness watchdog, armed by run() when
+  /// config().fault.watchdog_budget > 0 (null before run() / when off).
+  fault::Watchdog* watchdog() noexcept { return watchdog_.get(); }
 
   // --- introspection ----------------------------------------------------
   unsigned num_tenants() const noexcept {
@@ -167,6 +207,54 @@ class ServeSystem {
   bool any_busy() const noexcept;
   void register_observability();
 
+  // --- checkpoint machinery (tdn::ckpt) ---------------------------------
+  /// Per-slot AppView counters folded at checkpoint boundaries (they feed
+  /// the serve.slotN.llc.* keys).
+  struct SlotBaseline {
+    std::uint64_t llc_requests = 0;
+    std::uint64_t llc_hits = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t llc_writebacks = 0;
+    std::uint64_t bypass_reads = 0;
+  };
+  /// Machine counters folded (and then reset) at every checkpoint boundary.
+  /// collect_stats() always reports baseline + fresh, so the continuing and
+  /// any restored lineage compute each metric from identical operands —
+  /// double accumulation is not associative, which is exactly why the
+  /// continuing run must fold too instead of just letting its counters run.
+  struct MachineBaseline {
+    std::uint64_t events = 0;  ///< executed events (restored lineages only)
+    std::uint64_t llc_hits = 0;
+    std::uint64_t bypass_reads = 0;
+    std::uint64_t noc_messages = 0;
+    energy::EnergyInputs en;  ///< l1/llc/flush/noc/dram/rrt event counts
+    double nuca_total = 0.0;  ///< Sampled numerators/denominators
+    double nuca_weight = 0.0;
+    double miss_lat_total = 0.0;
+    double miss_lat_weight = 0.0;
+  };
+  bool ckpt_active() const noexcept { return ckpt_.enabled(); }
+  /// Standalone cadence chain (non-adaptive mode only; adaptive rides the
+  /// epoch-tick chain — see set_checkpoint).
+  void ckpt_marker();
+  /// Stop dispatching and wait for the machine to go idle.
+  void begin_drain(bool emergency);
+  /// Periodic (settle_grace) quiescence probe while draining.
+  void ckpt_settle();
+  /// True when nothing is in flight: no busy slot and every pending real
+  /// event is expected future work (arrivals, the tick/marker chains,
+  /// unfired fault-plan events) rather than an in-flight transaction.
+  bool quiescent() const;
+  /// At the quiescent point: fold+reset counters, cold-normalize, publish
+  /// the snapshot, then resume dispatching (or throw on an interrupt).
+  void ckpt_fold();
+  void fold_machine_counters();
+  void cold_normalize();
+  std::string encode_snapshot() const;
+  /// Begin an off-cadence emergency drain when a SIGINT/SIGTERM handler
+  /// raised the ckpt interrupt flag.
+  void poll_interrupt();
+
   system::SystemConfig cfg_;
   multi::MixSpec tenants_;
   ServeOptions opts_;
@@ -207,6 +295,23 @@ class ServeSystem {
   bool use_tdnuca_ = true;  ///< which policy future dispatches use
   std::uint64_t policy_switches_ = 0;
   std::vector<std::uint64_t> epoch_admitted_;  ///< per-tenant, current epoch
+  bool tick_alive_ = false;   ///< an epoch tick is scheduled
+  Cycle next_tick_at_ = 0;    ///< its absolute cycle (valid when alive)
+
+  // --- checkpoint state ---------------------------------------------------
+  ckpt::Options ckpt_;
+  std::uint64_t ckpt_fingerprint_ = 0;
+  bool draining_ = false;   ///< dispatching suspended until the next fold
+  bool emergency_ = false;  ///< this drain answers an interrupt request
+  bool marker_alive_ = false;  ///< a cadence marker is scheduled
+  Cycle next_marker_at_ = 0;   ///< its absolute cycle (valid when alive)
+  std::uint64_t snapshots_written_ = 0;
+  MachineBaseline baseline_;
+  std::vector<SlotBaseline> slot_baseline_;
+  bool resumed_ = false;
+  Cycle resume_cycle_ = 0;
+  std::uint64_t cursor_ = 0;  ///< arrivals consumed before the snapshot
+  std::unique_ptr<fault::Watchdog> watchdog_;
 
   bool built_ = false;
   bool ran_ = false;

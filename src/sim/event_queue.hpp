@@ -97,6 +97,19 @@ class EventQueue {
   Cycle run_until(Cycle limit);
 
   Cycle now() const noexcept { return now_; }
+
+  /// Jump a *fresh* queue's clock to @p cycle (checkpoint restore: the
+  /// rebuilt machine resumes at the snapshot's quiescent point, and
+  /// everything re-armed afterwards — remaining arrivals, periodic chains,
+  /// observer samplers — schedules at absolute post-restore cycles). Only
+  /// legal before anything has been scheduled or run, so it can never skip
+  /// over a pending event.
+  void fast_forward(Cycle cycle) {
+    TDN_REQUIRE(heap_.empty() && executed_ == 0 && now_ == 0,
+                "fast_forward is restore-only: queue must be fresh");
+    now_ = cycle;
+  }
+
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
   /// Pending events excluding observers — "is the simulation still live?".

@@ -38,6 +38,11 @@ class Sampled {
   double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
   std::uint64_t samples() const noexcept { return n_; }
   double total() const noexcept { return sum_; }
+  /// Accumulated weight (== samples() when every add used weight 1).
+  /// Checkpoint folds use it to recombine means exactly: the folded
+  /// aggregate carries (sum, weight) so `baseline + fresh` reproduces the
+  /// uninterrupted run's division bit-for-bit.
+  double weight() const noexcept { return weight_; }
   void reset() noexcept { *this = Sampled{}; }
 
  private:

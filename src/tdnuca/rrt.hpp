@@ -63,6 +63,10 @@ class Rrt {
   HealResult heal(BankMask healthy);
   /// Overwrite entry @p idx's mask (fault injection: soft-error bit flip).
   void corrupt_entry(unsigned idx, BankMask mask);
+  /// Drop every entry (checkpoint cold-normalization: the retired requests'
+  /// registrations must not shadow a restored run's fresh ones). Occupancy
+  /// statistics survive — they describe history.
+  void clear() noexcept { entries_.clear(); }
   /// Erase entry @p idx (fault injection: forced eviction). Returns its
   /// former physical range so the runtime can scrub it.
   AddrRange evict_entry(unsigned idx);

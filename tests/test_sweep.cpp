@@ -5,6 +5,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -179,8 +180,12 @@ TEST(ResultsCacheConcurrency, ContendingStoreLoadNeverSeesTornFiles) {
     for (int i = 0; i < kIters; ++i) ResultsCache::store(key, payload);
   });
   std::size_t seen = 0, torn = 0;
+  std::atomic<bool> writers_done{false};
   std::thread reader([&] {
-    for (int i = 0; i < kIters; ++i) {
+    // Probe until the writers finish and at least one publish was observed:
+    // store() fsyncs before renaming, so a fixed probe count could drain
+    // before the first entry lands.
+    while (!writers_done.load(std::memory_order_acquire) || seen == 0) {
       const auto loaded = ResultsCache::load(key);
       if (!loaded.has_value()) continue;  // not yet published: fine
       ++seen;
@@ -191,6 +196,7 @@ TEST(ResultsCacheConcurrency, ContendingStoreLoadNeverSeesTornFiles) {
   });
   writer_a.join();
   writer_b.join();
+  writers_done.store(true, std::memory_order_release);
   reader.join();
   EXPECT_EQ(torn, 0u);
   EXPECT_GT(seen, 0u);
