@@ -79,6 +79,16 @@ def print_single(doc):
         summary_row("dram_queue_delay", doc["dram"]["queue_delay"]),
     ]))
 
+    # Address translation (tdn::vm). Charged before the access issues, so it
+    # is reported beside the six-way attribution, which still sums exactly.
+    tr = doc.get("translation")
+    if tr and tr["latency"]["count"]:
+        print("\n-- address translation (charged before the access issues)")
+        print(table(("histogram",) + SUMMARY_COLS, [
+            summary_row("translation_latency", tr["latency"]),
+            summary_row("page_walk", tr["walk"]),
+        ]))
+
     cp = doc.get("critical_path")
     if cp:
         r = cp["realized"]
@@ -112,6 +122,19 @@ def print_compare(docs):
                 [[key(d)] + [d["access_latency"]["components"][c]["mean"]
                              for c in COMPONENTS]
                  for d in docs]))
+
+    if any(d.get("translation", {}).get("latency", {}).get("count")
+           for d in docs):
+        print("\n-- address translation (mean cycles)")
+        print(table(("run", "translations", "translation_mean", "walk_mean"),
+                    [[key(d),
+                      d.get("translation", {}).get("latency", {})
+                       .get("count", 0),
+                      d.get("translation", {}).get("latency", {})
+                       .get("mean", 0),
+                      d.get("translation", {}).get("walk", {})
+                       .get("mean", 0)]
+                     for d in docs]))
 
     if all(d.get("critical_path") for d in docs):
         print("\n-- critical-path decomposition (cycles)")

@@ -104,7 +104,13 @@ void CoherentSystem::access_internal(CoreId core, Addr vaddr, Addr paddr,
                                      AccessKind kind,
                                      std::function<void(Cycle)> done,
                                      bool replay) {
-  const Cycle hook_lat = replay ? 0 : policy_.on_access(core, vaddr, kind);
+  // Page-walker PTE loads (kernel physical region) stay out of the NUCA
+  // policies' page-classification machinery: hardware walkers bypass the
+  // OS page-grain bookkeeping, and a kernel address would poison R-NUCA's
+  // per-page state machine and TD-NUCA's RRT lookups.
+  const bool kernel = vaddr >= kKernelBase;
+  const Cycle hook_lat =
+      (replay || kernel) ? 0 : policy_.on_access(core, vaddr, kind);
   const Addr line = line_of(paddr);
   L1& l1 = l1s_[core];
   auto* ln = l1.array.find(line);
@@ -185,7 +191,9 @@ void CoherentSystem::register_miss_or_retry(CoreId core, Addr vaddr, Addr line,
 
 void CoherentSystem::launch_transaction(CoreId core, Addr vaddr, Addr line,
                                         AccessKind kind, Cycle issued_at) {
-  const nuca::MapDecision d = policy_.map(core, vaddr, line, kind);
+  const nuca::MapDecision d = vaddr >= kKernelBase
+                                  ? kernel_map(line)
+                                  : policy_.map(core, vaddr, line, kind);
   const Cycle send_at = eq_.now() + cfg_.l1_latency + d.lookup_latency;
   if (d.kind == nuca::MapDecision::Kind::Bypass) {
     if (attr_ != nullptr)
@@ -202,6 +210,14 @@ void CoherentSystem::launch_transaction(CoreId core, Addr vaddr, Addr line,
     net_.send(core, bank, MsgClass::Control,
               [this, bank, core, line, kind] { bank_request(bank, core, line, kind); });
   });
+}
+
+nuca::MapDecision CoherentSystem::kernel_map(Addr line) const {
+  BankId bank =
+      static_cast<BankId>((line / cfg_.l1.line_size) % banks_.size());
+  if (health_ != nullptr && !health_->bank_ok(bank))
+    bank = health_->remap_bank(line);
+  return nuca::MapDecision::to_bank(bank);
 }
 
 // --------------------------------------------------------------------------

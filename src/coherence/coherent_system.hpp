@@ -282,6 +282,10 @@ class CoherentSystem final : public nuca::CacheOps {
                               std::function<void()> on_fill);
   void launch_transaction(CoreId core, Addr vaddr, Addr line, AccessKind kind,
                           Cycle issued_at);
+  /// Home bank for page-table lines (vaddr >= kKernelBase): static
+  /// interleave over all banks, degraded to the healthy set under faults —
+  /// kernel structures never route through the workload-facing policies.
+  nuca::MapDecision kernel_map(Addr line) const;
   void bank_request(BankId bank, CoreId requester, Addr line, AccessKind kind);
   void bank_respond_read(BankId bank, CoreId requester, Addr line);
   void bank_respond_write(BankId bank, CoreId requester, Addr line);

@@ -74,4 +74,12 @@ inline constexpr Addr kKiB = 1024;
 inline constexpr Addr kMiB = 1024 * kKiB;
 inline constexpr Addr kGiB = 1024 * kMiB;
 
+/// Base of the simulated kernel physical region. Page-table structures live
+/// here, so a cache/coherence layer can recognize page-walker loads (their
+/// vaddr == paddr >= kKernelBase) and keep them out of the NUCA policies'
+/// page-classification machinery — hardware walkers bypass the dTLB and OS
+/// page-grain bookkeeping the same way. Far above any workload heap or serve
+/// generation slice.
+inline constexpr Addr kKernelBase = 0xFFFF'8000'0000'0000ull;
+
 }  // namespace tdn

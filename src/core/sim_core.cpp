@@ -6,9 +6,9 @@ namespace tdn::core {
 
 SimCore::SimCore(CoreId id, sim::EventQueue& eq,
                  coherence::CoherentSystem& caches, mem::PageTable& pt,
-                 CoreConfig cfg, mem::TlbConfig tlb_cfg)
+                 CoreConfig cfg, mem::TlbConfig tlb_cfg, vm::VmConfig vm_cfg)
     : id_(id), eq_(eq), caches_(caches), pt_(pt), cfg_(cfg),
-      tlb_(tlb_cfg, pt.page_size()) {}
+      mmu_(id, eq, &caches, pt, tlb_cfg, vm_cfg) {}
 
 void SimCore::execute(const TaskProgram& prog, std::function<void()> done) {
   TDN_REQUIRE(!running_, "core is already executing");
@@ -36,44 +36,48 @@ void SimCore::step() {
     finish_if_drained();
     return;
   }
-  const Cycle tlb_lat = tlb_.access(op.vaddr);
-  const Addr paddr = pt_.translate(op.vaddr);
-  const Cycle issue_at = eq_.now() + op.compute + tlb_lat;
-  // Ideal-timeline accounting (obs critical path): the cycles this op costs
-  // with every access an L1 hit. Pure arithmetic — never feeds back into
-  // the simulated timing.
-  task_ideal_ += op.compute + tlb_lat +
-                 (op.kind == AccessKind::Read ? cfg_.load_issue_cost
-                                              : cfg_.store_issue_cost);
+  // Translation: synchronous in legacy mode (flat TLB); on a vm-mode TLB
+  // miss the continuation fires when the page walk's PTE loads return from
+  // the hierarchy — the core is stalled on translation until then.
+  mmu_.translate(op.vaddr, [this, op](Cycle tlb_lat, Addr paddr) {
+    const Cycle issue_at = eq_.now() + op.compute + tlb_lat;
+    // Ideal-timeline accounting (obs critical path): the cycles this op
+    // costs with every access an L1 hit. Pure arithmetic — never feeds back
+    // into the simulated timing.
+    task_ideal_ += op.compute + tlb_lat +
+                   (op.kind == AccessKind::Read ? cfg_.load_issue_cost
+                                                : cfg_.store_issue_cost);
 
-  if (op.kind == AccessKind::Read) {
-    loads_.inc();
-    eq_.schedule_at(issue_at, [this, op, paddr] {
-      const unsigned window = op.mlp != 0 ? op.mlp : cfg_.load_window;
-      if (loads_in_flight_ >= window) {
-        // Load window full: stall until an outstanding load returns.
-        lw_stalls_.inc();
-        stalled_on_load_window_ = true;
-        resume_load_ = [this, op, paddr] { issue_load(op, paddr); };
-        return;
-      }
-      issue_load(op, paddr);
-    });
-    return;
-  }
-
-  stores_.inc();
-  eq_.schedule_at(issue_at, [this, op, paddr] {
-    if (stores_in_flight_ >= cfg_.store_buffer_entries) {
-      // Store buffer full: stall until a slot frees (resume handled by the
-      // completion callback of an outstanding store).
-      sb_stalls_.inc();
-      stalled_on_store_buffer_ = true;
-      // Re-issue this store when unstalled: wrap the op in a resume closure.
-      resume_store_ = [this, op, paddr] { issue_store(op, paddr); };
+    if (op.kind == AccessKind::Read) {
+      loads_.inc();
+      eq_.schedule_at(issue_at, [this, op, paddr] {
+        const unsigned window = op.mlp != 0 ? op.mlp : cfg_.load_window;
+        if (loads_in_flight_ >= window) {
+          // Load window full: stall until an outstanding load returns.
+          lw_stalls_.inc();
+          stalled_on_load_window_ = true;
+          resume_load_ = [this, op, paddr] { issue_load(op, paddr); };
+          return;
+        }
+        issue_load(op, paddr);
+      });
       return;
     }
-    issue_store(op, paddr);
+
+    stores_.inc();
+    eq_.schedule_at(issue_at, [this, op, paddr] {
+      if (stores_in_flight_ >= cfg_.store_buffer_entries) {
+        // Store buffer full: stall until a slot frees (resume handled by the
+        // completion callback of an outstanding store).
+        sb_stalls_.inc();
+        stalled_on_store_buffer_ = true;
+        // Re-issue this store when unstalled: wrap the op in a resume
+        // closure.
+        resume_store_ = [this, op, paddr] { issue_store(op, paddr); };
+        return;
+      }
+      issue_store(op, paddr);
+    });
   });
 }
 

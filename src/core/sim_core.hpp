@@ -19,6 +19,7 @@
 #include "mem/tlb.hpp"
 #include "sim/event_queue.hpp"
 #include "stats/counters.hpp"
+#include "vm/mmu.hpp"
 
 namespace tdn::core {
 
@@ -37,7 +38,7 @@ class SimCore {
  public:
   SimCore(CoreId id, sim::EventQueue& eq, coherence::CoherentSystem& caches,
           mem::PageTable& pt, CoreConfig cfg = {},
-          mem::TlbConfig tlb_cfg = {});
+          mem::TlbConfig tlb_cfg = {}, vm::VmConfig vm_cfg = {});
 
   CoreId id() const noexcept { return id_; }
 
@@ -61,7 +62,9 @@ class SimCore {
     reserved_ = false;
   }
   bool idle() const noexcept { return !running_ && !reserved_; }
-  mem::Tlb& tlb() noexcept { return tlb_; }
+  /// Translation front-end: legacy flat TLB or the tdn::vm two-level
+  /// TLB + page walker, per the VmConfig this core was built with.
+  vm::Mmu& mmu() noexcept { return mmu_; }
 
   // --- statistics ------------------------------------------------------
   std::uint64_t loads() const noexcept { return loads_.value(); }
@@ -91,7 +94,7 @@ class SimCore {
   coherence::CoherentSystem& caches_;
   mem::PageTable& pt_;
   CoreConfig cfg_;
-  mem::Tlb tlb_;
+  vm::Mmu mmu_;
 
   // Execution state for the in-flight program.
   bool running_ = false;

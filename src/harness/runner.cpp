@@ -108,14 +108,16 @@ obs::RecorderConfig ObsOptions::recorder_config() const {
 
 std::uint64_t RunConfig::fingerprint() const {
   std::ostringstream os;
-  // "v7": derived-metric schema version; bump to invalidate cached results
+  // "v8": derived-metric schema version; bump to invalidate cached results
   // when the metric extraction changes (v3 added the per-bank llc.bankN.*
   // keys; v4 added the fault.* keys and folded the fault plan into the
   // system fingerprint; v5 added multiprogram mixes — the appK.* /
   // multi.* keys and the colocation options below; v6 added
   // cache.forced_unsafe_evictions; v7 added open-arrival serving — the
-  // serve.* keys and the serving options below).
-  os << "v7/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
+  // serve.* keys and the serving options below; v8 added tdn::vm — the
+  // mem.* / vm.* / tdnuca.translate_* keys and the vm segment of the
+  // system fingerprint).
+  os << "v8/" << workload << '/' << static_cast<int>(policy) << '/' << params.scale
      << '/' << params.compute << '/' << params.seed << '/'
      << multi.canonical() << '/' << sys.fingerprint() << '/'
      << (serve.enabled() ? serve.canonical() : std::string("-"));

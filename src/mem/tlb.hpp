@@ -33,11 +33,25 @@ class Tlb {
   /// Drop the entry for the page containing @p vaddr (TLB shootdown).
   void invalidate_page(Addr vaddr);
   void invalidate_all();
+  /// Drop every entry WITHOUT counting shootdowns — checkpoint cold
+  /// normalization is a simulation artifact, not an architectural event,
+  /// and the count must not depend on occupancy at the fold (a restored
+  /// lineage's TLB is empty where the continuing one's was warm).
+  void ckpt_cold_reset() {
+    lru_.clear();
+    map_.clear();
+  }
 
   bool contains(Addr vaddr) const;
   std::uint64_t hits() const noexcept { return hits_.value(); }
   std::uint64_t misses() const noexcept { return misses_.value(); }
   std::uint64_t shootdowns() const noexcept { return shootdowns_.value(); }
+  /// Zero the counters (checkpoint counter folding); entries are untouched.
+  void ckpt_reset_stats() noexcept {
+    hits_.reset();
+    misses_.reset();
+    shootdowns_.reset();
+  }
 
  private:
   TlbConfig cfg_;

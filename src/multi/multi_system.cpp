@@ -11,7 +11,7 @@ namespace tdn::multi {
 MultiProgramSystem::MultiProgramSystem(system::SystemConfig cfg, MixSpec mix,
                                        MultiOptions opts, obs::Recorder* rec)
     : cfg_(cfg), opts_(opts), rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h),
-      page_table_(cfg.page_table) {
+      page_table_(cfg.page_table, cfg.vm) {
   const unsigned n = cfg_.num_cores();
   const unsigned num_apps = static_cast<unsigned>(mix.apps.size());
   TDN_REQUIRE(num_apps >= 1, "a mix needs at least one app");
@@ -108,14 +108,14 @@ MultiProgramSystem::MultiProgramSystem(system::SystemConfig cfg, MixSpec mix,
 
   // --- cores ------------------------------------------------------------
   cores_.reserve(n);
-  std::vector<mem::Tlb*> tlbs;
+  std::vector<vm::Mmu*> mmus;
   for (unsigned i = 0; i < n; ++i) {
     cores_.push_back(std::make_unique<core::SimCore>(
-        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb));
-    tlbs.push_back(&cores_.back()->tlb());
+        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb, cfg_.vm));
+    mmus.push_back(&cores_.back()->mmu());
   }
   for (auto& app : apps_)
-    if (app->rnuca) app->rnuca->set_tlbs(tlbs);
+    if (app->rnuca) app->rnuca->set_mmus(mmus);
 
   // --- per-app runtimes -------------------------------------------------
   for (unsigned a = 0; a < num_apps; ++a) {
@@ -411,6 +411,50 @@ stats::Registry MultiProgramSystem::collect_stats() const {
   r.set("noc.router_bytes", static_cast<double>(net_->total_router_bytes()));
   r.set("noc.messages", static_cast<double>(net_->messages()));
   r.set("dram.accesses", static_cast<double>(mcs_->total_accesses()));
+
+  // Translation aggregates across every core's Mmu (per-core breakdowns are
+  // a single-program TiledSystem affordance).
+  {
+    std::uint64_t tlb_hits = 0, tlb_misses = 0, tlb_shootdowns = 0;
+    std::uint64_t walks = 0, walk_loads = 0, psc_hits = 0, l2_hits = 0;
+    Cycle walk_cycles = 0, charge_cycles = 0;
+    for (const auto& core : cores_) {
+      const vm::Mmu& m = core->mmu();
+      tlb_hits += m.tlb_hits();
+      tlb_misses += m.tlb_misses();
+      tlb_shootdowns += m.tlb_shootdowns();
+      walks += m.walks();
+      walk_loads += m.walk_loads();
+      walk_cycles += m.walk_cycles();
+      charge_cycles += m.charge_walk_cycles();
+      psc_hits += m.psc_hits();
+      l2_hits += m.l2_tlb_hits();
+    }
+    r.set("tlb.hits", static_cast<double>(tlb_hits));
+    r.set("tlb.misses", static_cast<double>(tlb_misses));
+    r.set("mem.tlb_shootdowns", static_cast<double>(tlb_shootdowns));
+    r.set("mem.mapped_pages",
+          static_cast<double>(page_table_.mapped_pages()));
+    r.set("mem.frames_used", static_cast<double>(page_table_.frames_used()));
+    if (cfg_.vm.enabled) {
+      r.set("vm.walks", static_cast<double>(walks));
+      r.set("vm.walk_loads", static_cast<double>(walk_loads));
+      r.set("vm.walk_cycles", static_cast<double>(walk_cycles));
+      r.set("vm.isa_walk_cycles", static_cast<double>(charge_cycles));
+      r.set("vm.psc_hits", static_cast<double>(psc_hits));
+      r.set("vm.l2_tlb_hits", static_cast<double>(l2_hits));
+      r.set("vm.pages_4k",
+            static_cast<double>(page_table_.pages_of(vm::kPage4K)));
+      r.set("vm.pages_2m",
+            static_cast<double>(page_table_.pages_of(vm::kPage2M)));
+      r.set("vm.pages_1g",
+            static_cast<double>(page_table_.pages_of(vm::kPage1G)));
+      r.set("vm.huge_fallbacks",
+            static_cast<double>(page_table_.huge_fallbacks()));
+      r.set("vm.punctured_frames",
+            static_cast<double>(page_table_.punctured_frames()));
+    }
+  }
 
   std::uint64_t rrt_lookups = 0;
   for (const auto& app : apps_)

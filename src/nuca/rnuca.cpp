@@ -4,22 +4,21 @@ namespace tdn::nuca {
 
 RNucaPolicy::RNucaPolicy(const noc::Mesh& mesh, unsigned num_banks,
                          mem::PageTable& pt, RNucaConfig cfg)
-    : cfg_(cfg), num_banks_(num_banks), pt_(pt), page_size_(pt.page_size()),
-      clusters_(mesh) {}
+    : cfg_(cfg), num_banks_(num_banks), pt_(pt), clusters_(mesh) {}
 
-void RNucaPolicy::flush_page(Addr vpage, CoreMask cores, BankMask banks) {
+void RNucaPolicy::flush_page(Addr page_base, CoreMask cores, BankMask banks) {
   if (ops_ == nullptr) return;
   Addr pa = 0;
-  const Addr va = vpage * page_size_;
-  if (!pt_.try_translate(va, pa)) return;  // never materialized: nothing cached
-  const AddrRange prange{pa, pa + page_size_};
+  if (!pt_.try_translate(page_base, pa))
+    return;  // never materialized: nothing cached
+  const AddrRange prange{pa, pa + pt_.page_span(page_base)};
   page_flushes_.inc();
   if (!cores.empty()) ops_->flush_l1_range(cores, prange, [] {});
   if (!banks.empty()) ops_->flush_llc_range(banks, prange, [] {});
 }
 
 Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
-  const Addr vpage = vaddr / page_size_;
+  const Addr vpage = pt_.page_base(vaddr);
   auto [it, inserted] = pages_.try_emplace(vpage);
   PageState& ps = it->second;
   if (inserted) {
@@ -44,8 +43,8 @@ Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
                  bank_partition().empty() || bank_partition().test(ps.owner)
                      ? BankMask::single(ps.owner)
                      : bank_partition());
-      if (ps.owner < tlbs_.size() && tlbs_[ps.owner] != nullptr)
-        tlbs_[ps.owner]->invalidate_page(vaddr);
+      if (ps.owner < mmus_.size() && mmus_[ps.owner] != nullptr)
+        mmus_[ps.owner]->invalidate_page(vaddr);
       ps.cls = (ps.written || is_write(kind)) ? PageClass::Shared
                                               : PageClass::SharedRO;
       ps.written = ps.written || is_write(kind);
@@ -65,8 +64,8 @@ Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
                                           : core_partition(),
                  bank_partition().empty() ? BankMask::first_n(num_banks_)
                                           : bank_partition());
-      for (auto* tlb : tlbs_)
-        if (tlb != nullptr) tlb->invalidate_page(vaddr);
+      for (auto* mmu : mmus_)
+        if (mmu != nullptr) mmu->invalidate_page(vaddr);
       return cfg_.reclassification_penalty;
     case PageClass::Shared:
       return 0;  // terminal class
@@ -76,7 +75,7 @@ Cycle RNucaPolicy::on_access(CoreId core, Addr vaddr, AccessKind kind) {
 
 MapDecision RNucaPolicy::map(CoreId core, Addr vaddr, Addr paddr,
                              AccessKind /*kind*/) {
-  const Addr vpage = vaddr / page_size_;
+  const Addr vpage = pt_.page_base(vaddr);
   auto it = pages_.find(vpage);
   // on_access always runs first on the demand path, but writebacks can
   // outlive the map state; fall back to interleaving for unknown pages.

@@ -32,12 +32,12 @@
 
 #include "common/types.hpp"
 #include "mem/page_table.hpp"
-#include "mem/tlb.hpp"
 #include "noc/mesh.hpp"
 #include "nuca/mapping.hpp"
 #include "nuca/snuca.hpp"
 #include "stats/counters.hpp"
 #include "tdnuca/cluster_map.hpp"
+#include "vm/mmu.hpp"
 
 namespace tdn::nuca {
 
@@ -58,10 +58,10 @@ class RNucaPolicy final : public MappingPolicy {
 
   const char* name() const override { return "R-NUCA"; }
 
-  /// The TLBs to shoot down on reclassification (index = core id).
-  /// Optional: without them, shootdown cost is still charged but no TLB
-  /// state changes.
-  void set_tlbs(std::vector<mem::Tlb*> tlbs) { tlbs_ = std::move(tlbs); }
+  /// The per-core MMUs whose TLBs are shot down on reclassification
+  /// (index = core id). Optional: without them, shootdown cost is still
+  /// charged but no TLB state changes.
+  void set_mmus(std::vector<vm::Mmu*> mmus) { mmus_ = std::move(mmus); }
 
   Cycle on_access(CoreId core, Addr vaddr, AccessKind kind) override;
   MapDecision map(CoreId core, Addr vaddr, Addr paddr,
@@ -103,15 +103,18 @@ class RNucaPolicy final : public MappingPolicy {
 
   /// Flush the physical blocks of a virtual page from the given cores' L1s
   /// and LLC banks (fire-and-forget; the OS penalty is charged separately).
-  void flush_page(Addr vpage, CoreMask cores, BankMask banks);
+  void flush_page(Addr page_base, CoreMask cores, BankMask banks);
 
   RNucaConfig cfg_;
   unsigned num_banks_;
   mem::PageTable& pt_;
-  Addr page_size_;
   tdnuca::ClusterMap clusters_;
-  std::vector<mem::Tlb*> tlbs_;
-  std::unordered_map<Addr, PageState> pages_;  // key: vpage number
+  std::vector<vm::Mmu*> mmus_;
+  /// Classification state, keyed by the *actual* page base the page table
+  /// mapped (4K in legacy mode; 4K/2M/1G under tdn::vm) — so huge pages
+  /// visibly coarsen R-NUCA's grain: one touch classifies the whole page,
+  /// and mixed In/Out data inside it collapses into one class.
+  std::unordered_map<Addr, PageState> pages_;
   stats::Counter reclassifications_;
   stats::Counter page_flushes_;
 };

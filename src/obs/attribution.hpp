@@ -80,6 +80,11 @@ class LatencyAttribution {
     return noc_transit_[cls & 1];
   }
   LatencyHistogram& dram_queue() noexcept { return dram_queue_; }
+  /// Demand-path translation latency per access (TLB probe, plus the walk
+  /// on a vm-mode miss); fed by each core's Mmu.
+  LatencyHistogram& translation() noexcept { return translation_; }
+  /// Completed page-walk latencies (vm mode only; empty otherwise).
+  LatencyHistogram& walk() noexcept { return walk_; }
 
   // --- results ----------------------------------------------------------
   const LatencyHistogram& total() const noexcept { return total_; }
@@ -96,6 +101,10 @@ class LatencyAttribution {
   const LatencyHistogram& dram_queue_const() const noexcept {
     return dram_queue_;
   }
+  const LatencyHistogram& translation_const() const noexcept {
+    return translation_;
+  }
+  const LatencyHistogram& walk_const() const noexcept { return walk_; }
   /// Transactions stamped but never completed (lost to fault evacuation;
   /// zero on a fault-free run).
   std::size_t inflight() const noexcept { return inflight_.size(); }
@@ -125,6 +134,8 @@ class LatencyAttribution {
   std::array<LatencyHistogram, kMaxDistance + 1> by_distance_;
   std::array<LatencyHistogram, 2> noc_transit_;  ///< [0]=Control, [1]=Data
   LatencyHistogram dram_queue_;
+  LatencyHistogram translation_;
+  LatencyHistogram walk_;
 };
 
 }  // namespace tdn::obs

@@ -13,7 +13,8 @@ namespace tdn::serve {
 ServeSystem::ServeSystem(system::SystemConfig cfg, multi::MixSpec tenants,
                          ServeOptions opts, obs::Recorder* rec)
     : cfg_(cfg), tenants_(std::move(tenants)), opts_(std::move(opts)),
-      rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h), page_table_(cfg.page_table) {
+      rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h),
+      page_table_(cfg.page_table, cfg.vm) {
   const unsigned n = cfg_.num_cores();
   TDN_REQUIRE(opts_.enabled(), "ServeSystem needs an arrival spec");
   TDN_REQUIRE(opts_.slots >= 1, "at least one worker slot");
@@ -102,14 +103,14 @@ ServeSystem::ServeSystem(system::SystemConfig cfg, multi::MixSpec tenants,
 
   // --- cores ------------------------------------------------------------
   cores_.reserve(n);
-  std::vector<mem::Tlb*> tlbs;
+  std::vector<vm::Mmu*> mmus;
   for (unsigned i = 0; i < n; ++i) {
     cores_.push_back(std::make_unique<core::SimCore>(
-        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb));
-    tlbs.push_back(&cores_.back()->tlb());
+        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb, cfg_.vm));
+    mmus.push_back(&cores_.back()->mmu());
   }
   for (Slot& slot : slots_) {
-    if (slot.rnuca) slot.rnuca->set_tlbs(tlbs);
+    if (slot.rnuca) slot.rnuca->set_mmus(mmus);
     slot.cores.for_each(
         [&](CoreId c) { slot.core_ptrs.push_back(cores_[c].get()); });
   }
@@ -560,7 +561,9 @@ void ServeSystem::register_observability() {
 
 namespace {
 
-constexpr std::uint32_t kPayloadVersion = 1;
+// v2: AllocState grew vm_words (tdn::vm buddy-allocator state; empty for
+// legacy snapshots, but the field is always present in the encoding).
+constexpr std::uint32_t kPayloadVersion = 2;
 
 /// Sparse histogram encoding: (count, sum, min, max) then the nonzero
 /// buckets as (index, count) pairs. Bit-exact: restore() reproduces every
@@ -718,6 +721,21 @@ void ServeSystem::fold_machine_counters() {
     sb.llc_writebacks += ac.llc_writebacks;
     sb.bypass_reads += ac.bypass_reads;
   }
+  for (auto& core : cores_) {
+    vm::Mmu& mmu = core->mmu();
+    baseline_.tlb_hits += mmu.tlb_hits();
+    baseline_.tlb_misses += mmu.tlb_misses();
+    baseline_.tlb_shootdowns += mmu.tlb_shootdowns();
+    baseline_.l2_tlb_hits += mmu.l2_tlb_hits();
+    baseline_.walks += mmu.walks();
+    baseline_.walk_loads += mmu.walk_loads();
+    baseline_.walk_cycles += mmu.walk_cycles();
+    baseline_.isa_walk_cycles += mmu.charge_walk_cycles();
+    baseline_.psc_hits += mmu.psc_hits();
+    mmu.ckpt_reset_stats();
+  }
+  baseline_.huge_fallbacks += page_table_.huge_fallbacks();
+  page_table_.ckpt_reset_stats();
   caches_->ckpt_reset_stats();
   net_->ckpt_reset_stats();
   for (unsigned m = 0; m < mcs_->count(); ++m) mcs_->mc(m).ckpt_reset_stats();
@@ -728,7 +746,9 @@ void ServeSystem::cold_normalize() {
   // Stale TLB entries can never *match* a future request's slice (slices
   // are generation-unique), but their residency would skew replacement —
   // the restored lineage's TLBs are empty, so the continuing one's must be.
-  for (auto& core : cores_) core->tlb().invalidate_all();
+  // In vm mode this also clears the paging-structure caches, matching the
+  // freshly constructed walkers on the restored side.
+  for (auto& core : cores_) core->mmu().ckpt_cold_reset();
   for (Slot& slot : slots_) {
     if (slot.tdnuca) slot.tdnuca->ckpt_reset();
     if (slot.rnuca) slot.rnuca->ckpt_reset();
@@ -801,6 +821,18 @@ std::string ServeSystem::encode_snapshot() const {
   e.f64(baseline_.nuca_weight);
   e.f64(baseline_.miss_lat_total);
   e.f64(baseline_.miss_lat_weight);
+  // Translation baseline (payload v2; the cores' Mmu counters were folded
+  // and reset alongside the machine counters above).
+  e.u64(baseline_.tlb_hits);
+  e.u64(baseline_.tlb_misses);
+  e.u64(baseline_.tlb_shootdowns);
+  e.u64(baseline_.l2_tlb_hits);
+  e.u64(baseline_.walks);
+  e.u64(baseline_.walk_loads);
+  e.u64(baseline_.walk_cycles);
+  e.u64(baseline_.isa_walk_cycles);
+  e.u64(baseline_.psc_hits);
+  e.u64(baseline_.huge_fallbacks);
   // Derived-PRNG position of the page allocator: a restored run's
   // first-touch allocations continue the exact fragmentation sample
   // sequence the snapshotted lineage would have drawn.
@@ -808,6 +840,7 @@ std::string ServeSystem::encode_snapshot() const {
   e.u64(as.next_frame);
   e.u64(as.rng_state);
   e.u64_vec(as.skipped_frames);
+  e.u64_vec(as.vm_words);
   return e.take();
 }
 
@@ -900,10 +933,21 @@ void ServeSystem::resume_from(const ckpt::Snapshot& snap) {
   baseline_.nuca_weight = d.f64();
   baseline_.miss_lat_total = d.f64();
   baseline_.miss_lat_weight = d.f64();
+  baseline_.tlb_hits = d.u64();
+  baseline_.tlb_misses = d.u64();
+  baseline_.tlb_shootdowns = d.u64();
+  baseline_.l2_tlb_hits = d.u64();
+  baseline_.walks = d.u64();
+  baseline_.walk_loads = d.u64();
+  baseline_.walk_cycles = d.u64();
+  baseline_.isa_walk_cycles = d.u64();
+  baseline_.psc_hits = d.u64();
+  baseline_.huge_fallbacks = d.u64();
   mem::PageTable::AllocState as;
   as.next_frame = d.u64();
   as.rng_state = d.u64();
   as.skipped_frames = d.u64_vec();
+  as.vm_words = d.u64_vec();
   page_table_.set_alloc_state(as);
   if (!d.done())
     throw ckpt::SnapshotError("snapshot payload has trailing bytes");
@@ -971,6 +1015,51 @@ stats::Registry ServeSystem::collect_stats() const {
   r.set("noc.messages",
         static_cast<double>(baseline_.noc_messages + net_->messages()));
   r.set("dram.accesses", static_cast<double>(en.dram_accesses));
+
+  // Translation metrics: baseline + fresh like everything above (per-core
+  // breakdowns are a single-program TiledSystem affordance; serving reports
+  // machine aggregates). State-derived keys (page census) need no folding —
+  // mappings and the buddy pool are part of the snapshot itself.
+  {
+    MachineBaseline t = baseline_;
+    for (const auto& core : cores_) {
+      const vm::Mmu& m = core->mmu();
+      t.tlb_hits += m.tlb_hits();
+      t.tlb_misses += m.tlb_misses();
+      t.tlb_shootdowns += m.tlb_shootdowns();
+      t.l2_tlb_hits += m.l2_tlb_hits();
+      t.walks += m.walks();
+      t.walk_loads += m.walk_loads();
+      t.walk_cycles += m.walk_cycles();
+      t.isa_walk_cycles += m.charge_walk_cycles();
+      t.psc_hits += m.psc_hits();
+    }
+    r.set("tlb.hits", static_cast<double>(t.tlb_hits));
+    r.set("tlb.misses", static_cast<double>(t.tlb_misses));
+    r.set("mem.tlb_shootdowns", static_cast<double>(t.tlb_shootdowns));
+    r.set("mem.mapped_pages",
+          static_cast<double>(page_table_.mapped_pages()));
+    r.set("mem.frames_used", static_cast<double>(page_table_.frames_used()));
+    if (cfg_.vm.enabled) {
+      r.set("vm.walks", static_cast<double>(t.walks));
+      r.set("vm.walk_loads", static_cast<double>(t.walk_loads));
+      r.set("vm.walk_cycles", static_cast<double>(t.walk_cycles));
+      r.set("vm.isa_walk_cycles", static_cast<double>(t.isa_walk_cycles));
+      r.set("vm.psc_hits", static_cast<double>(t.psc_hits));
+      r.set("vm.l2_tlb_hits", static_cast<double>(t.l2_tlb_hits));
+      r.set("vm.pages_4k",
+            static_cast<double>(page_table_.pages_of(vm::kPage4K)));
+      r.set("vm.pages_2m",
+            static_cast<double>(page_table_.pages_of(vm::kPage2M)));
+      r.set("vm.pages_1g",
+            static_cast<double>(page_table_.pages_of(vm::kPage1G)));
+      r.set("vm.huge_fallbacks",
+            static_cast<double>(t.huge_fallbacks +
+                                page_table_.huge_fallbacks()));
+      r.set("vm.punctured_frames",
+            static_cast<double>(page_table_.punctured_frames()));
+    }
+  }
 
   const auto e = energy::compute_energy(en, energy::EnergyParams{});
   r.set("energy.llc_pj", e.llc_pj);

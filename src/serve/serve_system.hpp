@@ -232,6 +232,17 @@ class ServeSystem {
     double nuca_weight = 0.0;
     double miss_lat_total = 0.0;
     double miss_lat_weight = 0.0;
+    // Translation counters, folded from every core's Mmu (payload v2).
+    std::uint64_t tlb_hits = 0;
+    std::uint64_t tlb_misses = 0;
+    std::uint64_t tlb_shootdowns = 0;
+    std::uint64_t l2_tlb_hits = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t walk_loads = 0;
+    Cycle walk_cycles = 0;
+    Cycle isa_walk_cycles = 0;
+    std::uint64_t psc_hits = 0;
+    std::uint64_t huge_fallbacks = 0;
   };
   bool ckpt_active() const noexcept { return ckpt_.enabled(); }
   /// Standalone cadence chain (non-adaptive mode only; adaptive rides the

@@ -18,6 +18,7 @@
 #include "nuca/tdnuca_policy.hpp"
 #include "runtime/runtime_system.hpp"
 #include "tdnuca/runtime_hooks.hpp"
+#include "vm/config.hpp"
 
 namespace tdn::system {
 
@@ -46,6 +47,9 @@ struct SystemConfig {
   unsigned num_memory_controllers = 8;
   mem::PageTableConfig page_table{};
   mem::TlbConfig tlb{};
+  /// tdn::vm virtual-memory subsystem (docs/memory.md). Disabled by
+  /// default: the legacy flat-TLB/4K path runs bit-identically.
+  vm::VmConfig vm{};
   core::CoreConfig core{};
   runtime::RuntimeConfig runtime{};
   nuca::TdNucaConfig tdnuca{};

@@ -49,14 +49,14 @@ std::uint64_t SystemConfig::fingerprint() const {
      << hooks.dry_run << '/' << hooks.line_size << '/'
      << network.dead_link_backoff << '/' << network.dead_link_max_retries
      << '/' << fault::FaultPlan::parse(fault.plan).canonical() << '/'
-     << fault.seed << '/' << fault.rrt_scrub_delay;
+     << fault.seed << '/' << fault.rrt_scrub_delay << '/' << vm.canonical();
   const std::string s = os.str();
   return fnv1a64(s.data(), s.size());
 }
 
 TiledSystem::TiledSystem(SystemConfig cfg, obs::Recorder* rec)
     : cfg_(cfg), rec_(rec), mesh_(cfg.mesh_w, cfg.mesh_h),
-      page_table_(cfg.page_table) {
+      page_table_(cfg.page_table, cfg.vm) {
   const unsigned n = cfg_.num_cores();
   TDN_REQUIRE(n > 0, "system needs at least one tile");
 
@@ -118,14 +118,14 @@ TiledSystem::TiledSystem(SystemConfig cfg, obs::Recorder* rec)
   // --- cores -------------------------------------------------------------
   cores_.reserve(n);
   std::vector<core::SimCore*> core_ptrs;
-  std::vector<mem::Tlb*> tlbs;
+  std::vector<vm::Mmu*> mmus;
   for (unsigned i = 0; i < n; ++i) {
     cores_.push_back(std::make_unique<core::SimCore>(
-        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb));
+        i, eq_, *caches_, page_table_, cfg_.core, cfg_.tlb, cfg_.vm));
     core_ptrs.push_back(cores_.back().get());
-    tlbs.push_back(&cores_.back()->tlb());
+    mmus.push_back(&cores_.back()->mmu());
   }
-  if (rnuca_policy_) rnuca_policy_->set_tlbs(tlbs);
+  if (rnuca_policy_) rnuca_policy_->set_mmus(mmus);
 
   // --- runtime -------------------------------------------------------------
   switch (cfg_.scheduler) {
@@ -227,6 +227,8 @@ void TiledSystem::register_observability() {
     net_->set_transit_sinks(&attr->noc_transit(0), &attr->noc_transit(1));
     for (unsigned m = 0; m < mcs_->count(); ++m)
       mcs_->mc(m).set_queue_sink(&attr->dram_queue());
+    for (const auto& c : cores_)
+      c->mmu().set_obs_sinks(&attr->translation(), &attr->walk());
   }
 
   // --- trace tracks -----------------------------------------------------
@@ -284,6 +286,33 @@ void TiledSystem::register_observability() {
                              tdnuca_policy_->rrt(c).size());
                        });
     }
+  }
+  for (unsigned c = 0; c < n; ++c) {
+    rec_->add_series(
+        "mem.core" + std::to_string(c) + ".tlb_misses",
+        [this, c, prev = std::uint64_t{0}]() mutable {
+          const std::uint64_t cur = cores_[c]->mmu().tlb_misses();
+          const double delta = static_cast<double>(cur - prev);
+          prev = cur;
+          return delta;
+        });
+  }
+  rec_->add_series("mem.mapped_pages", [this] {
+    return static_cast<double>(page_table_.mapped_pages());
+  });
+  rec_->add_series("mem.frames_used", [this] {
+    return static_cast<double>(page_table_.frames_used());
+  });
+  if (cfg_.vm.enabled) {
+    rec_->add_series("vm.walk_cycles",
+                     [this, prev = Cycle{0}]() mutable {
+                       Cycle cur = 0;
+                       for (const auto& c : cores_)
+                         cur += c->mmu().walk_cycles();
+                       const double delta = static_cast<double>(cur - prev);
+                       prev = cur;
+                       return delta;
+                     });
   }
   rec_->add_series("runtime.ready_tasks",
                    [this] { return static_cast<double>(scheduler_->size()); });
@@ -418,15 +447,56 @@ stats::Registry TiledSystem::collect_stats() const {
   r.set("energy.total_pj", e.total_pj());
   std::uint64_t tlb_hits = 0;
   std::uint64_t tlb_misses = 0;
+  std::uint64_t tlb_shootdowns = 0;
   Cycle flush_cycles = 0;
   for (const auto& c : cores_) {
-    tlb_hits += c->tlb().hits();
-    tlb_misses += c->tlb().misses();
+    const vm::Mmu& m = c->mmu();
+    const std::string p = "mem.core" + std::to_string(c->id());
+    r.set(p + ".tlb_hits", static_cast<double>(m.tlb_hits()));
+    r.set(p + ".tlb_misses", static_cast<double>(m.tlb_misses()));
+    r.set(p + ".tlb_shootdowns", static_cast<double>(m.tlb_shootdowns()));
+    tlb_hits += m.tlb_hits();
+    tlb_misses += m.tlb_misses();
+    tlb_shootdowns += m.tlb_shootdowns();
     flush_cycles += caches_->flush_busy_cycles(c->id());
   }
   r.set("tlb.hits", static_cast<double>(tlb_hits));
   r.set("tlb.misses", static_cast<double>(tlb_misses));
+  r.set("mem.tlb_shootdowns", static_cast<double>(tlb_shootdowns));
+  r.set("mem.mapped_pages", static_cast<double>(page_table_.mapped_pages()));
+  r.set("mem.frames_used", static_cast<double>(page_table_.frames_used()));
   r.set("flush.busy_cycles", static_cast<double>(flush_cycles));
+  if (cfg_.vm.enabled) {
+    // tdn::vm keys appear only when the subsystem is on so legacy runs keep
+    // the pre-vm key set (same guard discipline as the fault block below).
+    std::uint64_t walks = 0, walk_loads = 0, psc_hits = 0, l2_hits = 0;
+    Cycle walk_cycles = 0, charge_cycles = 0;
+    for (const auto& c : cores_) {
+      const vm::Mmu& m = c->mmu();
+      walks += m.walks();
+      walk_loads += m.walk_loads();
+      walk_cycles += m.walk_cycles();
+      charge_cycles += m.charge_walk_cycles();
+      psc_hits += m.psc_hits();
+      l2_hits += m.l2_tlb_hits();
+    }
+    r.set("vm.walks", static_cast<double>(walks));
+    r.set("vm.walk_loads", static_cast<double>(walk_loads));
+    r.set("vm.walk_cycles", static_cast<double>(walk_cycles));
+    r.set("vm.isa_walk_cycles", static_cast<double>(charge_cycles));
+    r.set("vm.psc_hits", static_cast<double>(psc_hits));
+    r.set("vm.l2_tlb_hits", static_cast<double>(l2_hits));
+    r.set("vm.pages_4k",
+          static_cast<double>(page_table_.pages_of(vm::kPage4K)));
+    r.set("vm.pages_2m",
+          static_cast<double>(page_table_.pages_of(vm::kPage2M)));
+    r.set("vm.pages_1g",
+          static_cast<double>(page_table_.pages_of(vm::kPage1G)));
+    r.set("vm.huge_fallbacks",
+          static_cast<double>(page_table_.huge_fallbacks()));
+    r.set("vm.punctured_frames",
+          static_cast<double>(page_table_.punctured_frames()));
+  }
   if (tdnuca_policy_) {
     r.set("rrt.mean_occupancy", tdnuca_policy_->mean_rrt_occupancy());
     r.set("rrt.max_occupancy",
@@ -443,6 +513,10 @@ stats::Registry TiledSystem::collect_stats() const {
           static_cast<double>(hooks_td_->replicated_placements()));
     r.set("tdnuca.runtime_overhead_cycles",
           static_cast<double>(hooks_td_->runtime_overhead_cycles()));
+    r.set("tdnuca.translate_pages",
+          static_cast<double>(hooks_td_->translate_pages()));
+    r.set("tdnuca.translate_cycles",
+          static_cast<double>(hooks_td_->translate_cycles()));
   }
   if (rnuca_policy_) {
     const auto c = rnuca_policy_->census();

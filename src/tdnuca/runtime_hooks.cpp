@@ -20,6 +20,11 @@ void TdNucaRuntimeHooks::on_task_created(const runtime::Task& task) {
   for (const runtime::DepAccess& a : task.deps) {
     DirEntry& e = dir_.entry(a.dep, rts_->dep(a.dep).vrange);
     ++e.use_desc;
+    // The runtime knows dependency regions are accessed as units — the
+    // madvise-like huge-page hint per region at creation time is the vm
+    // integration point the paper's runtime-driven story implies
+    // (docs/memory.md). No-op unless vm runs with ThpPolicy::Madvise.
+    pt_.advise_huge(rts_->dep(a.dep).vrange);
   }
 }
 
@@ -35,10 +40,17 @@ TdNucaRuntimeHooks::Translated TdNucaRuntimeHooks::translate_dep(
   out.pieces = std::move(tr.physical_pieces);
   out.pages = tr.pages_walked;
   // The iterative translation performs one TLB access per page of the range
-  // (paper Fig. 5); misses pay the page-walk penalty through the TLB model.
+  // (paper Fig. 5); misses pay the page-walk cost through the MMU — flat
+  // penalty in legacy mode, a charged walk (with real PTE loads fired into
+  // the hierarchy) under tdn::vm. Stepping by the mapped page span is what
+  // collapses the iteration count under huge pages.
   const Addr ps = pt_.page_size();
-  for (Addr va = align_down(eff.begin, ps); va < eff.end; va += ps)
-    out.tlb_cycles += core.tlb().access(va);
+  for (Addr va = align_down(eff.begin, ps); va < eff.end;) {
+    out.tlb_cycles += core.mmu().charge_translation(va);
+    va = pt_.page_base(va) + pt_.page_span(va);
+  }
+  translate_pages_ += out.pages;
+  translate_cycles_ += out.tlb_cycles;
   return out;
 }
 

@@ -98,6 +98,11 @@ class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
     return n_transitions_.value();
   }
   Cycle runtime_overhead_cycles() const noexcept { return overhead_cycles_; }
+  /// Pages iterated by every ISA-path translate_range (register/invalidate/
+  /// flush) — huge pages collapse this (paper Fig. 5 / docs/memory.md).
+  std::uint64_t translate_pages() const noexcept { return translate_pages_; }
+  /// Translation cycles (TLB probes + walks) charged on the ISA path.
+  Cycle translate_cycles() const noexcept { return translate_cycles_; }
 
  private:
   struct Translated {
@@ -146,6 +151,8 @@ class TdNucaRuntimeHooks final : public runtime::RuntimeHooks {
   stats::Counter n_replicated_;
   stats::Counter n_transitions_;
   Cycle overhead_cycles_ = 0;
+  std::uint64_t translate_pages_ = 0;
+  Cycle translate_cycles_ = 0;
 };
 
 }  // namespace tdn::tdnuca

@@ -1,0 +1,101 @@
+#include "vm/buddy_allocator.hpp"
+
+#include "common/require.hpp"
+
+namespace tdn::vm {
+
+namespace {
+constexpr std::uint64_t kFramesPer2M = 512;   // order 9
+constexpr unsigned k2MOrder = 9;
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(double puncture, std::uint64_t seed)
+    : puncture_(puncture), rng_(seed) {
+  TDN_REQUIRE(puncture_ >= 0.0 && puncture_ <= 1.0,
+              "puncture probability must be in [0,1]");
+}
+
+void BuddyAllocator::grow() {
+  const std::uint64_t base = superblocks_ << kMaxOrder;
+  ++superblocks_;
+  free_[kMaxOrder].insert(base);
+  if (puncture_ <= 0.0) return;
+  for (std::uint64_t blk = 0; blk < (1ull << (kMaxOrder - k2MOrder)); ++blk) {
+    if (rng_.next_double() >= puncture_) continue;
+    const std::uint64_t victim =
+        base + blk * kFramesPer2M + rng_.next_below(kFramesPer2M);
+    take_frame(victim);
+    ++punctured_;
+  }
+}
+
+void BuddyAllocator::take_frame(std::uint64_t frame) {
+  // Find the free block containing `frame`, smallest order first.
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    const std::uint64_t blk = frame & ~((1ull << o) - 1);
+    auto it = free_[o].find(blk);
+    if (it == free_[o].end()) continue;
+    free_[o].erase(it);
+    // Split down, keeping the half that contains `frame` each time and
+    // freeing its buddy.
+    for (unsigned k = o; k > 0; --k) {
+      const std::uint64_t half = 1ull << (k - 1);
+      const std::uint64_t lo = frame & ~((1ull << k) - 1);
+      free_[k - 1].insert(frame < lo + half ? lo + half : lo);
+    }
+    return;
+  }
+  // Already allocated (a previous puncture landed on the same frame).
+}
+
+std::optional<std::uint64_t> BuddyAllocator::try_allocate(unsigned order,
+                                                          unsigned max_grows) {
+  TDN_REQUIRE(order <= kMaxOrder, "order exceeds superblock order");
+  for (;;) {
+    for (unsigned o = order; o <= kMaxOrder; ++o) {
+      if (free_[o].empty()) continue;
+      std::uint64_t base = *free_[o].begin();
+      free_[o].erase(free_[o].begin());
+      for (unsigned k = o; k > order; --k)
+        free_[k - 1].insert(base + (1ull << (k - 1)));  // free the upper half
+      frames_allocated_ += 1ull << order;
+      return base;
+    }
+    if (max_grows == 0) return std::nullopt;
+    --max_grows;
+    grow();
+  }
+}
+
+std::vector<std::uint64_t> BuddyAllocator::serialize() const {
+  std::vector<std::uint64_t> w;
+  w.push_back(rng_.state());
+  w.push_back(superblocks_);
+  w.push_back(frames_allocated_);
+  w.push_back(punctured_);
+  for (const auto& fl : free_) {
+    w.push_back(fl.size());
+    w.insert(w.end(), fl.begin(), fl.end());
+  }
+  return w;
+}
+
+void BuddyAllocator::restore(const std::vector<std::uint64_t>& words) {
+  std::size_t i = 0;
+  auto next = [&] {
+    TDN_REQUIRE(i < words.size(), "truncated buddy-allocator snapshot");
+    return words[i++];
+  };
+  rng_.set_state(next());
+  superblocks_ = next();
+  frames_allocated_ = next();
+  punctured_ = next();
+  for (auto& fl : free_) {
+    fl.clear();
+    std::uint64_t n = next();
+    while (n-- > 0) fl.insert(fl.end(), next());
+  }
+  TDN_REQUIRE(i == words.size(), "trailing data in buddy-allocator snapshot");
+}
+
+}  // namespace tdn::vm

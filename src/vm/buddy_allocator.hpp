@@ -1,0 +1,73 @@
+// Contiguity-aware physical-frame allocator (binary buddy over 4K frames).
+//
+// The legacy allocator hands out frames one at a time with PRNG-injected
+// discontiguity; that cannot express "give me 512 physically contiguous
+// frames" — which is exactly what a 2M page mapping is. The buddy allocator
+// keeps free lists per power-of-two order (order 0 = one 4K frame, order 9 =
+// one 2M run, order 18 = one 1G run) and grows the pool in whole 1G
+// superblocks on demand.
+//
+// Fragmentation is modeled as *puncturing*: when a superblock is grown, each
+// 2M-aligned block inside it has its contiguity broken with probability
+// `puncture` by reserving one random 4K frame (the "kernel" grabbed it).
+// A punctured 2M block can never back a 2M page, so huge-page allocation
+// degrades gracefully with physical-pool fragmentation — the mechanism the
+// legacy `fragmentation` knob only approximated at 4K grain.
+//
+// Determinism: free lists are ordered std::sets and allocation always takes
+// the lowest available base, so identical request streams produce identical
+// frame layouts. There is no free(): the simulator's working sets are
+// append-only within a run, and checkpoint/restore snapshots the whole
+// allocator verbatim (serialize()/restore()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace tdn::vm {
+
+class BuddyAllocator {
+ public:
+  static constexpr unsigned kFrameShift = 12;  ///< 4K frames
+  static constexpr unsigned kMaxOrder = 18;    ///< 2^18 frames = 1 GiB
+
+  BuddyAllocator(double puncture, std::uint64_t seed);
+
+  /// Allocate 2^order contiguous frames; returns the first frame number, or
+  /// nullopt if the pool (after growing at most @p max_grows superblocks)
+  /// has no such run — the caller falls back to a smaller page size. Order 0
+  /// always succeeds with max_grows >= 1.
+  std::optional<std::uint64_t> try_allocate(unsigned order,
+                                            unsigned max_grows = 2);
+
+  std::uint64_t frames_allocated() const noexcept { return frames_allocated_; }
+  std::uint64_t punctured_frames() const noexcept { return punctured_; }
+  std::uint64_t superblocks() const noexcept { return superblocks_; }
+
+  // --- checkpoint/restore (tdn::ckpt) ----------------------------------
+  /// Flat word encoding of the complete allocator state (free lists, PRNG
+  /// position, counters). Opaque to the caller; restore() is the inverse.
+  std::vector<std::uint64_t> serialize() const;
+  void restore(const std::vector<std::uint64_t>& words);
+
+ private:
+  void grow();
+  /// Carve one specific frame out of whatever free block contains it
+  /// (puncturing). No-op if the frame is already allocated.
+  void take_frame(std::uint64_t frame);
+
+  std::array<std::set<std::uint64_t>, kMaxOrder + 1> free_;  // base frames
+  std::uint64_t superblocks_ = 0;
+  std::uint64_t frames_allocated_ = 0;
+  std::uint64_t punctured_ = 0;
+  double puncture_;
+  SplitMix64 rng_;
+};
+
+}  // namespace tdn::vm

@@ -1,0 +1,107 @@
+#include "vm/tlb_hierarchy.hpp"
+
+namespace tdn::vm {
+
+std::list<Addr>::iterator TlbArray::find(Addr vaddr) {
+  // An entry's key is its va_base; with mixed spans the covering entry (if
+  // any) is keyed at one of the three page-size alignments of vaddr.
+  if (fixed_span_ != 0) {
+    auto it = map_.find(align_down(vaddr, fixed_span_));
+    return it != map_.end() ? it->second.first : lru_.end();
+  }
+  for (Addr span : {kPage4K, kPage2M, kPage1G}) {
+    auto it = map_.find(align_down(vaddr, span));
+    if (it != map_.end() && vaddr < it->first + it->second.second)
+      return it->second.first;
+  }
+  return lru_.end();
+}
+
+bool TlbArray::lookup(Addr vaddr, Addr* base, Addr* span) {
+  auto pos = find(vaddr);
+  if (pos == lru_.end()) return false;
+  if (base != nullptr) *base = *pos;
+  if (span != nullptr) *span = map_.at(*pos).second;
+  lru_.splice(lru_.begin(), lru_, pos);  // promote to MRU
+  return true;
+}
+
+void TlbArray::fill(Addr va_base, Addr span) {
+  if (entries_ == 0) return;
+  auto it = map_.find(va_base);
+  if (it != map_.end()) {
+    it->second.second = span;
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    return;
+  }
+  if (map_.size() >= entries_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(va_base);
+  map_[va_base] = {lru_.begin(), span};
+}
+
+bool TlbArray::invalidate(Addr vaddr) {
+  auto pos = find(vaddr);
+  if (pos == lru_.end()) return false;
+  map_.erase(*pos);
+  lru_.erase(pos);
+  return true;
+}
+
+void TlbArray::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+TlbHierarchy::TlbHierarchy(const VmConfig& cfg)
+    : cfg_(cfg), l1_4k_(cfg.l1_4k_entries, kPage4K),
+      l1_2m_(cfg.l1_2m_entries, kPage2M), l1_1g_(cfg.l1_1g_entries, kPage1G),
+      l2_(cfg.l2_entries) {}
+
+TlbArray& TlbHierarchy::l1_for(Addr span) {
+  if (span >= kPage1G) return l1_1g_;
+  if (span >= kPage2M) return l1_2m_;
+  return l1_4k_;
+}
+
+TlbHierarchy::Result TlbHierarchy::lookup(Addr vaddr) {
+  if (l1_4k_.lookup(vaddr) || l1_2m_.lookup(vaddr) || l1_1g_.lookup(vaddr)) {
+    ++l1_hits_;
+    return {true, cfg_.l1_latency};
+  }
+  Addr base = 0;
+  Addr span = 0;
+  if (l2_.lookup(vaddr, &base, &span)) {
+    ++l2_hits_;
+    // Refill the size-appropriate L1 array so the next access hits fast.
+    l1_for(span).fill(base, span);
+    return {true, cfg_.l1_latency + cfg_.l2_latency};
+  }
+  ++misses_;
+  return {false, cfg_.l1_latency + cfg_.l2_latency};
+}
+
+void TlbHierarchy::fill(Addr va_base, Addr span) {
+  l2_.fill(va_base, span);
+  l1_for(span).fill(va_base, span);
+}
+
+void TlbHierarchy::invalidate_page(Addr vaddr) {
+  bool any = l1_4k_.invalidate(vaddr);
+  any = l1_2m_.invalidate(vaddr) || any;
+  any = l1_1g_.invalidate(vaddr) || any;
+  any = l2_.invalidate(vaddr) || any;
+  if (any) ++shootdowns_;
+}
+
+void TlbHierarchy::invalidate_all() {
+  shootdowns_ += l2_.size();
+  l1_4k_.clear();
+  l1_2m_.clear();
+  l1_1g_.clear();
+  l2_.clear();
+}
+
+}  // namespace tdn::vm

@@ -1,0 +1,100 @@
+// Two-level data TLB for vm mode: split L1 (one fully-associative LRU array
+// per page size, as x86 cores split 4K/2M/1G dTLBs) backed by a unified L2
+// ("STLB") holding entries of every size. Shootdown semantics match the
+// legacy single-level TLB: invalidate_page drops the covering entry from
+// every level and counts one shootdown.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "vm/config.hpp"
+
+namespace tdn::vm {
+
+/// One fully-associative true-LRU translation array whose entries map a
+/// va_base to a page span. The unified level stores mixed spans; lookup
+/// probes the 4K/2M/1G alignments of the address (three tag compares — how
+/// hardware STLBs hash mixed sizes is modeled away).
+class TlbArray {
+ public:
+  /// @p fixed_span != 0 pins every entry to one span (split-L1 arrays and
+  /// the walker's paging-structure caches): lookups probe a single
+  /// alignment. 0 = mixed spans (unified L2), probing the 4K/2M/1G
+  /// alignments.
+  explicit TlbArray(unsigned entries, Addr fixed_span = 0)
+      : entries_(entries), fixed_span_(fixed_span) {}
+
+  /// True if an entry covers @p vaddr; updates LRU. On a hit the covering
+  /// entry's geometry is reported through the optional out-params (used by
+  /// the unified L2 to refill the right split-L1 array).
+  bool lookup(Addr vaddr, Addr* base = nullptr, Addr* span = nullptr);
+  void fill(Addr va_base, Addr span);
+  /// Drop the entry covering @p vaddr, if any; returns whether one existed.
+  bool invalidate(Addr vaddr);
+  void clear();
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::list<Addr>::iterator find(Addr vaddr);
+
+  unsigned entries_;
+  Addr fixed_span_;
+  std::list<Addr> lru_;  // front = most recent; values are va_base
+  std::unordered_map<Addr, std::pair<std::list<Addr>::iterator, Addr>>
+      map_;  // va_base -> (lru pos, span)
+};
+
+class TlbHierarchy {
+ public:
+  explicit TlbHierarchy(const VmConfig& cfg);
+
+  struct Result {
+    bool hit = false;
+    Cycle latency = 0;  ///< probe latency (miss = full L1+L2 probe cost)
+  };
+  /// Probe L1 (by the page size of the translation, unknown to the
+  /// requester: all three split arrays are probed in parallel, so one L1
+  /// latency) then L2. An L2 hit refills the L1 array of its size class.
+  Result lookup(Addr vaddr);
+  /// Install a translation in L2 and the size-appropriate L1 array.
+  void fill(Addr va_base, Addr span);
+  /// TLB shootdown for the page covering @p vaddr.
+  void invalidate_page(Addr vaddr);
+  void invalidate_all();
+  /// Drop every entry WITHOUT counting shootdowns (checkpoint cold
+  /// normalization — see mem::Tlb::ckpt_cold_reset).
+  void ckpt_cold_reset() {
+    l1_4k_.clear();
+    l1_2m_.clear();
+    l1_1g_.clear();
+    l2_.clear();
+  }
+
+  std::uint64_t l1_hits() const noexcept { return l1_hits_; }
+  std::uint64_t l2_hits() const noexcept { return l2_hits_; }
+  std::uint64_t hits() const noexcept { return l1_hits_ + l2_hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t shootdowns() const noexcept { return shootdowns_; }
+  /// Zero the counters (checkpoint counter folding); entries are untouched.
+  void reset_stats() noexcept {
+    l1_hits_ = l2_hits_ = misses_ = shootdowns_ = 0;
+  }
+
+ private:
+  TlbArray& l1_for(Addr span);
+
+  VmConfig cfg_;
+  TlbArray l1_4k_;
+  TlbArray l1_2m_;
+  TlbArray l1_1g_;
+  TlbArray l2_;
+  std::uint64_t l1_hits_ = 0;
+  std::uint64_t l2_hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t shootdowns_ = 0;
+};
+
+}  // namespace tdn::vm

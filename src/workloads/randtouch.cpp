@@ -1,0 +1,109 @@
+// Randtouch — TLB-hostile irregular pointer-chasing surrogate (not part of
+// the paper suite; built for the tdn::vm huge-page ablation,
+// docs/memory.md).
+//
+// A pool of multi-page buffers is first-touch initialized with a one-line-
+// per-4K-page strided write (every base page is allocated, no intra-page
+// locality), then two waves of gather tasks sample random lines across
+// whole buffers:
+//   * wave 1 reads each buffer once (in) — under TD-NUCA the region is
+//     registered, read and flushed;
+//   * wave 2 reads each buffer *and* its neighbour — the re-registration
+//     re-translates every page, and the shared re-read exercises the
+//     replicated placement.
+// With 4K pages the working set spans far more pages than the L1 TLB holds,
+// so nearly every touch misses and the walk/translation path dominates;
+// with 2M pages the same footprint collapses to a handful of TLB entries
+// and one RRT piece per buffer.
+#include "workloads/workloads.hpp"
+
+#include <sstream>
+
+#include "workloads/builder.hpp"
+
+namespace tdn::workloads {
+namespace {
+
+class RandtouchWorkload final : public Workload {
+ public:
+  explicit RandtouchWorkload(const WorkloadParams& p) : params_(p) {}
+  const char* name() const override { return "randtouch"; }
+
+  void build(BuildContext ctx) override {
+    Builder b(ctx, params_.compute);
+    auto& rt = b.rt();
+
+    // 2 MiB per buffer at scale 1 — one huge page under ThpPolicy::Always,
+    // 512 base pages otherwise. The pool dwarfs a 64-entry 4K TLB at any
+    // scale >= 0.125.
+    const unsigned bufs_n = 32;
+    const Addr buf_bytes = scaled_bytes(2.0 * kMiB, params_.scale);
+    const Addr page_lines = 4 * kKiB / 64;
+    std::vector<Builder::Region> bufs(bufs_n);
+    for (unsigned i = 0; i < bufs_n; ++i) {
+      std::ostringstream nm;
+      nm << "pool[" << i << "]";
+      bufs[i] = b.alloc(buf_bytes, nm.str());
+    }
+
+    Addr dep_bytes_total = 0;
+    std::size_t tasks = 0;
+    const std::uint64_t touches =
+        std::max<std::uint64_t>(buf_bytes / (4 * kKiB) * 2, 16);
+
+    // Init: touch one line in every 4K page (first-touch allocation with no
+    // spatial reuse).
+    for (unsigned i = 0; i < bufs_n; ++i) {
+      core::TaskProgram prog;
+      core::AccessPhase p = b.phase(bufs[i].range, AccessKind::Write, 1);
+      p.stride_lines = static_cast<unsigned>(page_lines);
+      prog.add_phase(p);
+      std::ostringstream nm;
+      nm << "scatter(" << i << ")";
+      rt.create_task(nm.str(), {{bufs[i].dep, DepUse::Out}}, std::move(prog));
+      dep_bytes_total += bufs[i].range.size();
+      ++tasks;
+    }
+    // Wave 1: random gather over each buffer.
+    for (unsigned i = 0; i < bufs_n; ++i) {
+      core::TaskProgram prog;
+      prog.add_phase(b.sample(bufs[i].range, touches, params_.seed + i));
+      std::ostringstream nm;
+      nm << "gather(" << i << ")";
+      rt.create_task(nm.str(), {{bufs[i].dep, DepUse::In}}, std::move(prog));
+      dep_bytes_total += bufs[i].range.size();
+      ++tasks;
+    }
+    // Wave 2: re-gather each buffer plus its neighbour (shared re-read).
+    for (unsigned i = 0; i < bufs_n; ++i) {
+      const unsigned j = (i + 1) % bufs_n;
+      core::TaskProgram prog;
+      prog.add_group(
+          {b.sample(bufs[i].range, touches, params_.seed + 1000 + i),
+           b.sample(bufs[j].range, touches, params_.seed + 2000 + i)});
+      std::ostringstream nm;
+      nm << "regather(" << i << ")";
+      rt.create_task(nm.str(),
+                     {{bufs[i].dep, DepUse::In}, {bufs[j].dep, DepUse::In}},
+                     std::move(prog));
+      dep_bytes_total += bufs[i].range.size() + bufs[j].range.size();
+      ++tasks;
+    }
+
+    stats_.input_bytes = ctx.vspace.footprint();
+    stats_.num_tasks = tasks;
+    stats_.avg_task_bytes = dep_bytes_total / tasks;
+    stats_.num_phases = 3;
+  }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_randtouch(const WorkloadParams& p) {
+  return std::make_unique<RandtouchWorkload>(p);
+}
+
+}  // namespace tdn::workloads

@@ -17,7 +17,7 @@ const std::vector<std::string>& paper_workload_names() {
 }
 
 bool is_valid_workload(std::string_view name) {
-  if (name == "cholesky") return true;
+  if (name == "cholesky" || name == "randtouch") return true;
   for (const std::string& n : paper_workload_names()) {
     if (name == n) return true;
   }
@@ -30,7 +30,7 @@ std::string valid_workload_names() {
     if (!out.empty()) out += ", ";
     out += n;
   }
-  out += ", cholesky";
+  out += ", cholesky, randtouch";
   return out;
 }
 
@@ -45,6 +45,7 @@ std::unique_ptr<Workload> make_workload(std::string_view name,
   if (name == "md5") return make_md5(params);
   if (name == "redblack") return make_redblack(params);
   if (name == "cholesky") return make_cholesky(params);
+  if (name == "randtouch") return make_randtouch(params);
   TDN_REQUIRE(false, "unknown workload: '" + std::string(name) +
                          "' (valid: " + valid_workload_names() + ")");
   return nullptr;

@@ -15,5 +15,6 @@ std::unique_ptr<Workload> make_lu(const WorkloadParams&);
 std::unique_ptr<Workload> make_md5(const WorkloadParams&);
 std::unique_ptr<Workload> make_redblack(const WorkloadParams&);
 std::unique_ptr<Workload> make_cholesky(const WorkloadParams&);
+std::unique_ptr<Workload> make_randtouch(const WorkloadParams&);
 
 }  // namespace tdn::workloads

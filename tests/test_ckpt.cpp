@@ -291,6 +291,37 @@ TEST(CkptServe, ResumeFromEverySnapshotIsBitIdentical) {
   }
 }
 
+// The ISSUE acceptance bar for tdn::vm: a serving run with huge pages
+// enabled checkpoints and resumes bit-identically. The snapshot carries the
+// buddy allocator (payload v2 AllocState::vm_words) and cold-normalization
+// drops TLBs + paging-structure caches on both lineages.
+TEST(CkptServe, VmHugePagesResumeIsBitIdentical) {
+  TempDir dir("vmident");
+  system::SystemConfig cfg;
+  cfg.policy = system::PolicyKind::TdNuca;
+  cfg.vm.enabled = true;
+  cfg.vm.thp = vm::ThpPolicy::Always;
+  cfg.vm.fragmentation = 0.5;  // exercise punctured-pool PRNG state too
+  const multi::MixSpec mix = multi::MixSpec::parse("gauss+histo");
+  const serve::ServeOptions opts = serving();
+  const ckpt::Options ck = cadence(dir.path);
+
+  const auto reference = reference_run(cfg, mix, opts, ck);
+  // vm.pages_2m is a point-in-time gauge and the last fold drops mappings,
+  // so huge-page evidence comes from monotonic counters: the buddy pool
+  // hands out whole 512-frame runs, and walks only happen in vm mode.
+  EXPECT_GE(reference.at("mem.frames_used"), 512.0) << "huge pages never mapped";
+  EXPECT_GT(reference.at("vm.walks"), 0.0);
+  const auto snaps = ckpt::load_all(dir.path, kFp);
+  ASSERT_GE(snaps.size(), 2u) << "cadence produced too few snapshots";
+
+  for (const ckpt::Snapshot& snap : snaps) {
+    const auto resumed = resumed_run(cfg, mix, opts, ck, snap);
+    expect_metrics_identical(reference, resumed,
+                             "vm resume@" + std::to_string(snap.cycle));
+  }
+}
+
 TEST(CkptServe, AdaptiveResumeIsBitIdentical) {
   TempDir dir("adaptive");
   system::SystemConfig cfg;

@@ -39,16 +39,18 @@ struct GoldenCase {
   std::uint64_t metrics;
 };
 
-// Schema v7 goldens (v7 added the serving options segment; closed runs
-// carry the "-" sentinel, so only the fingerprints moved — the metric
-// hashes are untouched from v6).
+// Schema v8 goldens (v8 added the tdn::vm options segment — disabled runs
+// carry the "off" sentinel — and the always-present mem.* per-core TLB /
+// allocator keys plus tdnuca.translate_*, so both the fingerprints and the
+// metric hashes moved; every v7 metric key kept its exact value, verified
+// key-by-key against the seed build).
 const GoldenCase kGoldens[] = {
-    {"gauss", system::PolicyKind::SNuca, 0x40be0eec505d0684ull,
-     0x1a92393edf4ca81full},
-    {"histo", system::PolicyKind::RNuca, 0x1380c2d32835adbbull,
-     0x7cb836047f112f48ull},
-    {"jacobi", system::PolicyKind::TdNuca, 0xf1fe5b2c58d5ad0bull,
-     0x1589fc6404d3e126ull},
+    {"gauss", system::PolicyKind::SNuca, 0x917e4b660d1975ddull,
+     0xb4d29d2e391d7bf8ull},
+    {"histo", system::PolicyKind::RNuca, 0xdf544619f4ad4980ull,
+     0xa32be5730695fe6full},
+    {"jacobi", system::PolicyKind::TdNuca, 0x511cb6ff7d847ddeull,
+     0xf2def87b56b8b1b1ull},
 };
 
 harness::RunConfig golden_config(const GoldenCase& c) {
@@ -59,7 +61,7 @@ harness::RunConfig golden_config(const GoldenCase& c) {
   return cfg;
 }
 
-TEST(Determinism, FingerprintGoldensV7) {
+TEST(Determinism, FingerprintGoldensV8) {
   for (const GoldenCase& c : kGoldens) {
     const harness::RunConfig cfg = golden_config(c);
     EXPECT_EQ(cfg.fingerprint(), c.fingerprint)
@@ -68,7 +70,7 @@ TEST(Determinism, FingerprintGoldensV7) {
   }
 }
 
-TEST(Determinism, MetricsGoldensV7) {
+TEST(Determinism, MetricsGoldensV8) {
   for (const GoldenCase& c : kGoldens) {
     const harness::RunConfig cfg = golden_config(c);
     const harness::RunResult r =
@@ -84,7 +86,7 @@ TEST(Determinism, MetricsGoldensV7) {
 // (which enables attribution, epoch-free), every metric hashes to the same
 // committed golden as the plain run. This is the obs-on/obs-off identity
 // the v2 observability layer promises.
-TEST(Determinism, MetricsGoldensV7WithAttributionEnabled) {
+TEST(Determinism, MetricsGoldensV8WithAttributionEnabled) {
   const GoldenCase& c = kGoldens[0];  // gauss / S-NUCA
   harness::RunConfig cfg = golden_config(c);
   cfg.obs.latency_report_path =

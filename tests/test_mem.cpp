@@ -90,6 +90,69 @@ TEST(PageTable, SubPageRangeClipping) {
   EXPECT_EQ(tr.pages_walked, 2u);
 }
 
+TEST(PageTable, ZeroLengthRange) {
+  PageTable pt;
+  const auto tr = pt.translate_range({0x10000000, 0x10000000});
+  EXPECT_TRUE(tr.physical_pieces.empty());
+  EXPECT_EQ(tr.pages_walked, 0u);
+  EXPECT_EQ(pt.mapped_pages(), 0u);  // nothing allocated
+}
+
+TEST(PageTable, UnalignedRangeWithinOnePage) {
+  PageTable pt;
+  const AddrRange vr{0x10000000 + 100, 0x10000000 + 300};
+  const auto tr = pt.translate_range(vr);
+  ASSERT_EQ(tr.physical_pieces.size(), 1u);
+  EXPECT_EQ(tr.physical_pieces[0].size(), 200u);
+  EXPECT_EQ(tr.pages_walked, 1u);
+  // The piece carries the in-page byte offset of the virtual begin.
+  EXPECT_EQ(tr.physical_pieces[0].begin % 4096, 100u);
+}
+
+TEST(PageTable, FullFragmentationBreaksEveryPage) {
+  PageTableConfig cfg;
+  cfg.fragmentation = 1.0;
+  PageTable pt(cfg);
+  const AddrRange vr{0x10000000, 0x10000000 + 8 * 4096};
+  const auto tr = pt.translate_range(vr);
+  // Every boundary is a physical break: one piece per page walked.
+  EXPECT_EQ(tr.physical_pieces.size(), tr.pages_walked);
+  EXPECT_EQ(tr.pages_walked, 8u);
+}
+
+// Property: for arbitrary (mis)aligned ranges under fragmentation, the
+// pieces exactly tile the virtual range in order, each piece lies within
+// the range's translation, and pages_walked matches the page stepping.
+TEST(PageTable, PiecesTileRangeProperty) {
+  PageTableConfig cfg;
+  cfg.fragmentation = 0.5;
+  PageTable pt(cfg);
+  const Addr offs[] = {0, 1, 100, 4095, 4096 + 17};
+  const Addr lens[] = {1, 4095, 4096, 10 * 4096 + 33, 64 * 4096 - 1};
+  Addr base = 0x20000000;
+  for (const Addr off : offs) {
+    for (const Addr len : lens) {
+      const AddrRange vr{base + off, base + off + len};
+      const auto tr = pt.translate_range(vr);
+      Addr covered = 0;
+      for (const auto& p : tr.physical_pieces) {
+        EXPECT_GT(p.size(), 0u);
+        covered += p.size();
+      }
+      EXPECT_EQ(covered, vr.size()) << off << "+" << len;
+      const Addr first = vr.begin / 4096, last = (vr.end - 1) / 4096;
+      EXPECT_EQ(tr.pages_walked, last - first + 1) << off << "+" << len;
+      // Byte-for-byte: each address translates into the piece covering it.
+      Addr va = vr.begin;
+      for (const auto& p : tr.physical_pieces) {
+        EXPECT_EQ(pt.translate(va), p.begin);
+        va += p.size();
+      }
+      base += kMiB;  // fresh pages for the next shape
+    }
+  }
+}
+
 TEST(Tlb, HitAfterMiss) {
   Tlb tlb({.entries = 4, .hit_latency = 1, .miss_penalty = 20}, 4096);
   EXPECT_EQ(tlb.access(0x1000), 21u);  // miss

@@ -165,16 +165,16 @@ TEST(MultiProgram, FingerprintSeparatesColocationOptions) {
   EXPECT_NE(base.fingerprint(), other.fingerprint());
 }
 
-TEST(MultiProgram, FingerprintGoldenV7) {
-  // Golden hash of the default 2-app config under schema v7 (v7 added the
-  // open-arrival serving options; a closed run hashes the "-" sentinel in
-  // the serve position). A change here means cached results are (correctly)
+TEST(MultiProgram, FingerprintGoldenV8) {
+  // Golden hash of the default 2-app config under schema v8 (v8 added the
+  // tdn::vm options segment; a vm-disabled run hashes the "off" sentinel in
+  // the vm position). A change here means cached results are (correctly)
   // invalidated — if that was not the intent, the fingerprint composition
   // regressed. Regenerate by printing cfg.fingerprint() for this config.
   harness::RunConfig cfg;
   cfg.workload = "gauss+histo";
   cfg.policy = system::PolicyKind::TdNuca;
-  EXPECT_EQ(cfg.fingerprint(), 0xab3046014ee7d750ull)
+  EXPECT_EQ(cfg.fingerprint(), 0x50fbf5288d275b07ull)
       << std::hex << cfg.fingerprint();
 }
 

@@ -9,6 +9,8 @@
 #include "nuca/rnuca.hpp"
 #include "nuca/snuca.hpp"
 #include "nuca/tdnuca_policy.hpp"
+#include "sim/event_queue.hpp"
+#include "vm/mmu.hpp"
 
 using namespace tdn;
 using namespace tdn::nuca;
@@ -139,12 +141,16 @@ TEST(RNuca, SharedNeverReturnsToPrivate) {
 
 TEST(RNuca, TlbShootdownOnReclassification) {
   RNucaRig rig;
-  mem::Tlb tlb0({}, 4096), tlb1({}, 4096);
-  rig.p.set_tlbs({&tlb0, &tlb1});
-  tlb0.access(0x10000000);
+  sim::EventQueue eq;
+  vm::Mmu mmu0(0, eq, nullptr, rig.pt, {}, {});
+  vm::Mmu mmu1(1, eq, nullptr, rig.pt, {}, {});
+  rig.p.set_mmus({&mmu0, &mmu1});
+  mmu0.charge_translation(0x10000000);
   rig.p.on_access(0, 0x10000000, AccessKind::Read);
   rig.p.on_access(1, 0x10000000, AccessKind::Read);
-  EXPECT_FALSE(tlb0.contains(0x10000000));  // previous owner shot down
+  // Previous owner shot down.
+  EXPECT_FALSE(mmu0.legacy_tlb().contains(0x10000000));
+  EXPECT_EQ(mmu0.tlb_shootdowns(), 1u);
 }
 
 TEST(RNuca, DistinctPagesClassifyIndependently) {

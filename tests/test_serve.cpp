@@ -315,15 +315,15 @@ TEST(ServeHarness, FingerprintSeparatesServingOptions) {
   EXPECT_NE(base.fingerprint(), adaptive.fingerprint());
 }
 
-TEST(ServeHarness, FingerprintGoldenV7) {
-  // Golden hash of the default serving config under schema v7 — the serving
-  // twin of MultiProgram.FingerprintGoldenV7. Regenerate by printing
+TEST(ServeHarness, FingerprintGoldenV8) {
+  // Golden hash of the default serving config under schema v8 — the serving
+  // twin of MultiProgram.FingerprintGoldenV8. Regenerate by printing
   // cfg.fingerprint() for this exact config.
   harness::RunConfig cfg;
   cfg.workload = "gauss+histo";
   cfg.policy = system::PolicyKind::TdNuca;
   cfg.serve.arrival = "poisson:gap=40k";
-  EXPECT_EQ(cfg.fingerprint(), 0xd3dabceaef0b6620ull)
+  EXPECT_EQ(cfg.fingerprint(), 0x93285b9d3afc1e37ull)
       << std::hex << cfg.fingerprint();
 }
 
