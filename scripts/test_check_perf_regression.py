@@ -18,10 +18,13 @@ import check_perf_regression as cpr  # noqa: E402
 
 
 def write_doc(directory, name, metrics, schema="tdn-bench-substrate-v1",
-              smoke=False):
+              smoke=False, threads=None):
     path = os.path.join(directory, name)
+    doc = {"schema": schema, "smoke": smoke, "metrics": metrics}
+    if threads is not None:
+        doc["threads"] = threads
     with open(path, "w", encoding="utf-8") as f:
-        json.dump({"schema": schema, "smoke": smoke, "metrics": metrics}, f)
+        json.dump(doc, f)
     return path
 
 
@@ -122,6 +125,27 @@ class SchemaAndSmokeGuards(unittest.TestCase):
             self.assertEqual(run_main(["--baseline", b, "--current", c]), 0)
             self.assertEqual(run_main(["--baseline", b, "--current", c,
                                        "--strict"]), 1)
+
+    def test_host_threads_mismatch_warns_and_fails_strict(self):
+        # sharded_traffic.* speedups from a 1-core host are not comparable
+        # to a 16-core baseline; the checker warns, and --strict fails.
+        with tempfile.TemporaryDirectory() as d:
+            b = write_doc(d, "base.json",
+                          {"sharded_traffic.t4.speedup_vs_serial": 2.0},
+                          threads=16)
+            c = write_doc(d, "cur.json",
+                          {"sharded_traffic.t4.speedup_vs_serial": 2.0},
+                          threads=1)
+            self.assertEqual(run_main(["--baseline", b, "--current", c]), 0)
+            self.assertEqual(run_main(["--baseline", b, "--current", c,
+                                       "--strict"]), 1)
+
+    def test_matching_host_threads_no_warning(self):
+        with tempfile.TemporaryDirectory() as d:
+            b = write_doc(d, "base.json", {"k.ns_per_op": 1.0}, threads=4)
+            c = write_doc(d, "cur.json", {"k.ns_per_op": 1.0}, threads=4)
+            self.assertEqual(run_main(["--baseline", b, "--current", c,
+                                       "--strict"]), 0)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,65 @@
+// DomainMap — tile → shard-domain assignment derived from the NoC topology.
+//
+// The sharded engine (sim::ShardedEventQueue) partitions the simulation into
+// domains and synchronizes them with a conservative lookahead. For a mesh
+// NoC the natural partitions are per-tile (one domain per router, maximum
+// parallelism) or contiguous row blocks (fewer barriers crossed by local
+// traffic); the natural lookahead is the cheapest cross-domain delivery —
+// one router + link traversal, since queueing and extra hops only push
+// arrivals further out. DESIGN.md decision 7 has the full protocol.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "sim/sharded_event_queue.hpp"
+
+namespace tdn::noc {
+
+class DomainMap {
+ public:
+  /// One domain per tile: every router is its own shard.
+  static DomainMap per_tile(const Mesh& mesh) {
+    DomainMap m;
+    m.domains_ = mesh.tiles();
+    m.map_.resize(mesh.tiles());
+    for (CoreId t = 0; t < mesh.tiles(); ++t) m.map_[t] = t;
+    return m;
+  }
+
+  /// Contiguous row blocks: rows are striped across @p domains partitions
+  /// (clamped to the row count), so horizontally-adjacent tiles — the bulk
+  /// of XY traffic's first leg — stay in one domain.
+  static DomainMap row_blocks(const Mesh& mesh, unsigned domains) {
+    DomainMap m;
+    const unsigned n =
+        domains == 0 ? 1 : std::min(domains, mesh.height());
+    m.domains_ = n;
+    m.map_.resize(mesh.tiles());
+    for (CoreId t = 0; t < mesh.tiles(); ++t) {
+      const unsigned row = mesh.coord(t).y;
+      m.map_[t] = static_cast<sim::DomainId>(row * n / mesh.height());
+    }
+    return m;
+  }
+
+  sim::DomainId domain_of(CoreId tile) const { return map_.at(tile); }
+  unsigned domains() const noexcept { return domains_; }
+
+  /// Conservative lookahead for this topology: the cheapest cross-domain
+  /// delivery is one hop (router + link traversal); serialization and
+  /// queueing only push arrivals later, never earlier.
+  static Cycle min_lookahead(const NetworkConfig& cfg) noexcept {
+    return cfg.router_latency + cfg.link_latency;
+  }
+
+ private:
+  std::vector<sim::DomainId> map_;
+  unsigned domains_ = 0;
+};
+
+}  // namespace tdn::noc

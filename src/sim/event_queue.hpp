@@ -11,6 +11,18 @@
 // orders Event* pointers — sift operations move 8-byte pointers, not whole
 // closures. The (when, seq) order is exactly the pre-pool order, so every
 // fingerprint golden stays bit-identical.
+//
+// Exception safety: grow_pool() reserves *full pool capacity* for both the
+// free list and the heap, so once a slot is acquired neither push_event()
+// nor recycle() can allocate. That makes recycle() honestly noexcept (it
+// runs in destructors during unwind) and lets commit() stamp the sequence
+// number and observer census only after the action is safely in place — a
+// throwing capture constructor leaks no seq and skews no counter.
+//
+// Sharded mode (DESIGN.md decision 7): a ShardedEventQueue may attach to
+// one or more EventQueues and drive them in bounded windows on worker
+// threads. The hooks below (ShardClient, run_window, inject) are engine-only
+// plumbing; the serial path pays exactly one predictable branch in commit().
 #pragma once
 
 #include <cstdint>
@@ -35,6 +47,8 @@ inline constexpr std::size_t kActionCapacity = 120;
 /// (coherence::CoherentSystem) so those paths are allocation-free too.
 using Action = InlineFunction<void(), kActionCapacity>;
 
+class ShardedEventQueue;
+
 class EventQueue {
  public:
   EventQueue() = default;
@@ -44,19 +58,25 @@ class EventQueue {
   /// Schedule a callable to run at absolute cycle @p when (>= now()).
   /// The callable is emplaced directly into a pooled event slot: no heap
   /// allocation, and captures larger than kActionCapacity fail to compile.
+  /// Strong exception guarantee: if the capture constructor throws, the
+  /// slot returns to the pool and no seq or counter moves.
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, Action>>>
   void schedule_at(Cycle when, F&& fn) {
     Event* ev = acquire(when, /*observer=*/false);
+    PoolGuard guard{this, ev};
     ev->fn.emplace(std::forward<F>(fn));
-    push_event(ev);
+    commit(ev);
+    guard.release();
   }
   /// Overload for an already-built Action (moved, not re-wrapped).
   void schedule_at(Cycle when, Action fn) {
     Event* ev = acquire(when, /*observer=*/false);
+    PoolGuard guard{this, ev};
     ev->fn = std::move(fn);
-    push_event(ev);
+    commit(ev);
+    guard.release();
   }
 
   /// Schedule a callable to run @p delay cycles from now.
@@ -71,12 +91,17 @@ class EventQueue {
   /// check (beyond-limit observers are silently dropped). Observer actions
   /// must never mutate simulation state; the obs epoch sampler uses them so
   /// that recording on/off yields bit-identical results.
+  ///
+  /// The observer census (real_pending(), the ckpt quiescence check) is
+  /// updated inside commit(), after the push that can no longer fail — a
+  /// throwing capture constructor leaves the census untouched.
   template <typename F>
   void schedule_observer_at(Cycle when, F&& fn) {
     Event* ev = acquire(when, /*observer=*/true);
+    PoolGuard guard{this, ev};
     ev->fn.emplace(std::forward<F>(fn));
-    push_event(ev);
-    ++observer_pending_;
+    commit(ev);
+    guard.release();
   }
   template <typename F>
   void schedule_observer_in(Cycle delay, F&& fn) {
@@ -130,11 +155,25 @@ class EventQueue {
   /// peak pending concurrency, not event count — exposed for the substrate
   /// bench and the pool-recycling tests.
   std::size_t pool_slots() const noexcept { return chunks_.size() * kChunk; }
+  /// Free-list capacity — the pool-churn regression test asserts this never
+  /// falls below pool_slots(), the invariant that keeps recycle() noexcept.
+  std::size_t free_capacity() const noexcept { return free_.capacity(); }
 
  private:
+  friend class ShardedEventQueue;
+
+  /// Sentinel: event was not created inside a sharded window.
+  static constexpr std::uint32_t kNoEmit = 0xffffffffu;
+  /// Seqs with this bit set are *provisional*: assigned inside a sharded
+  /// window and renumbered to their serial values at the window barrier.
+  /// The bit places them after every committed (serial) seq, which is
+  /// exactly where the serial order puts events that do not exist yet.
+  static constexpr std::uint64_t kProvisionalBit = 1ull << 63;
+
   struct Event {
     Cycle when = 0;
     std::uint64_t seq = 0;
+    std::uint32_t emit_idx = kNoEmit;  ///< shard-mode backref, see ShardClient
     bool observer = false;
     Action fn;
   };
@@ -146,26 +185,96 @@ class EventQueue {
   };
   static constexpr std::size_t kChunk = 256;
 
+  /// Engine-side bookkeeping for one domain of a ShardedEventQueue. The
+  /// emit log records every schedule made inside the current window in
+  /// program order; the exec log records every event run. At the window
+  /// barrier the engine replays these records in serial (when, seq) order
+  /// to assign the exact sequence numbers a serial run would have produced
+  /// (sharded_event_queue.hpp has the full argument).
+  struct ShardClient {
+    struct EmitRec {
+      Cycle when = 0;
+      Event* ev = nullptr;           ///< pending local child; null once run
+      std::int32_t child_exec = -1;  ///< exec-log index if run this window
+      std::int32_t channel_msg = -1; ///< engine channel index (cross sends)
+    };
+    struct ExecRec {
+      Cycle when = 0;
+      std::uint64_t seq = 0;
+      std::uint32_t emit_begin = 0;
+      std::uint32_t emit_end = 0;
+      bool provisional = false;
+    };
+    std::uint64_t* global_seq = nullptr;  ///< engine's serial seq counter
+    bool in_window = false;
+    std::uint64_t prov_count = 0;  ///< provisional ranks, reset per window
+    std::vector<EmitRec> emits;
+    std::vector<ExecRec> execs;
+  };
+
+  /// Returns an acquired-but-uncommitted slot to the free list when the
+  /// action's capture constructor (or the shard emit log) throws. recycle()
+  /// cannot allocate (grow_pool invariant), so unwinding stays safe.
+  struct PoolGuard {
+    EventQueue* q;
+    Event* ev;
+    ~PoolGuard() {
+      if (ev != nullptr) q->recycle(ev);
+    }
+    void release() noexcept { ev = nullptr; }
+  };
+
   /// Grab a free pooled slot (allocating a new chunk only when the free
-  /// list is empty) and stamp it with (when, seq, observer).
+  /// list is empty) and stamp it with (when, observer). The seq is stamped
+  /// later, by commit(), so an abandoned slot never consumes one.
   Event* acquire(Cycle when, bool observer) {
     TDN_REQUIRE(when >= now_, "cannot schedule an event in the past");
     if (free_.empty()) grow_pool();
     Event* ev = free_.back();
     free_.pop_back();
     ev->when = when;
-    ev->seq = next_seq_++;
     ev->observer = observer;
+    ev->emit_idx = kNoEmit;
     return ev;
   }
-  void push_event(Event* ev);
+
+  /// Stamp the seq and enqueue a fully-built event. Everything after the
+  /// (possibly allocating) shard emit-log append is no-throw, so a failure
+  /// anywhere leaves seq counters, the heap and the observer census
+  /// untouched — the caller's PoolGuard returns the slot.
+  void commit(Event* ev) {
+    if (shard_ == nullptr) {
+      ev->seq = next_seq_++;
+    } else if (shard_->in_window) {
+      shard_->emits.push_back(ShardClient::EmitRec{ev->when, ev, -1, -1});
+      ev->emit_idx = static_cast<std::uint32_t>(shard_->emits.size() - 1);
+      ev->seq = kProvisionalBit | shard_->prov_count++;
+    } else {
+      // Attached but between windows (program setup): draw from the
+      // engine-wide counter so cross-domain schedule order is call order,
+      // exactly as one serial queue would number them.
+      ev->seq = (*shard_->global_seq)++;
+    }
+    push_event(ev);
+    if (ev->observer) ++observer_pending_;
+  }
+
+  void push_event(Event* ev) noexcept;
   /// Pop the heap top; the caller runs the action and then recycles.
-  Event* pop_top();
+  Event* pop_top() noexcept;
   void recycle(Event* ev) noexcept {
     ev->fn.reset();
-    free_.push_back(ev);
+    free_.push_back(ev);  // cannot allocate: grow_pool reserved full capacity
   }
   void grow_pool();
+
+  /// Engine-only: run every event strictly before @p horizon, recording
+  /// exec/emit bookkeeping for the barrier replay. Cycle-limit and observer
+  /// drop policy stay with the engine, which sees all domains.
+  void run_window(Cycle horizon);
+  /// Engine-only: deliver a cross-domain message carrying the serial seq
+  /// assigned at the window barrier.
+  void inject(Cycle when, std::uint64_t seq, Action fn);
 
   std::vector<Event*> heap_;  ///< binary min-heap of pooled events
   std::vector<Event*> free_;  ///< recycled slots
@@ -175,6 +284,7 @@ class EventQueue {
   std::uint64_t executed_ = 0;
   std::uint64_t observer_dropped_ = 0;
   std::size_t observer_pending_ = 0;
+  ShardClient* shard_ = nullptr;  ///< non-null while attached to an engine
 };
 
 }  // namespace tdn::sim

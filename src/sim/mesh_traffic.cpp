@@ -1,0 +1,151 @@
+#include "sim/mesh_traffic.hpp"
+
+#include <cstddef>
+
+#include "common/prng.hpp"
+#include "common/require.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sharded_event_queue.hpp"
+
+namespace tdn::sim {
+namespace {
+
+// SplitMix64 finalizer — cheap order-sensitive digest mixing.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Packet {
+  std::uint32_t id = 0;
+  std::uint32_t ttl = 0;
+};
+
+struct TileState {
+  SplitMix64 rng{0};
+  std::uint64_t digest = 0;
+};
+
+struct Ctx {
+  MeshTrafficParams p;
+  std::vector<TileState> tiles;
+  EventQueue* eq = nullptr;             // serial build
+  ShardedEventQueue* engine = nullptr;  // sharded build
+};
+
+void hop(Ctx& c, std::uint32_t tile, Packet pkt);
+
+// Both builds make the exact same schedule calls in the exact same order —
+// that call order is what sequence numbers encode, so the serial reference
+// and every sharded thread count replay one identical event stream.
+void schedule_hop(Ctx& c, std::uint32_t from, std::uint32_t to, Cycle when,
+                  Packet pkt) {
+  Ctx* cp = &c;
+  auto fn = [cp, to, pkt] { hop(*cp, to, pkt); };
+  if (c.engine == nullptr) {
+    c.eq->schedule_at(when, fn);
+  } else if (from == to) {
+    c.engine->domain(to).schedule_at(when, fn);
+  } else {
+    c.engine->schedule_cross(from, to, when, fn);
+  }
+}
+
+// A packet arrives at `tile`: mix the arrival into the tile digest (the
+// tile's own state — domain ownership holds by construction), burn `work`
+// rounds of compute, then walk to a uniformly random in-bounds neighbor.
+void hop(Ctx& c, std::uint32_t tile, Packet pkt) {
+  TileState& ts = c.tiles[tile];
+  const Cycle now =
+      c.engine != nullptr ? c.engine->domain(tile).now() : c.eq->now();
+  std::uint64_t d =
+      mix64(ts.digest ^ (static_cast<std::uint64_t>(pkt.id) << 32) ^ now);
+  for (unsigned i = 0; i < c.p.work; ++i) d = mix64(d + i);
+  ts.digest = d;
+  if (pkt.ttl == 0) return;
+
+  const std::uint32_t x = tile % c.p.width;
+  const std::uint32_t y = tile / c.p.width;
+  std::uint32_t nbr[4];
+  std::uint32_t n = 0;
+  if (x + 1 < c.p.width) nbr[n++] = tile + 1;
+  if (x > 0) nbr[n++] = tile - 1;
+  if (y + 1 < c.p.height) nbr[n++] = tile + c.p.width;
+  if (y > 0) nbr[n++] = tile - c.p.width;
+  const std::uint32_t to = nbr[ts.rng.next_below(n)];
+  schedule_hop(c, tile, to, now + c.p.hop_latency,
+               Packet{pkt.id, pkt.ttl - 1});
+}
+
+void check_params(const MeshTrafficParams& p) {
+  TDN_REQUIRE(p.width >= 1 && p.height >= 1 && p.width * p.height >= 2,
+              "mesh traffic needs at least two tiles");
+  TDN_REQUIRE(p.hop_latency >= 1, "hop latency must be at least one cycle");
+}
+
+// Initial injection: every packet arrives at its home tile at cycle
+// hop_latency. Tiles then packets in row-major order — the schedule call
+// order both builds share.
+void inject(Ctx& c) {
+  const std::uint32_t ntiles = c.p.width * c.p.height;
+  for (std::uint32_t t = 0; t < ntiles; ++t) {
+    c.tiles[t].rng.set_state(mix64(c.p.seed ^ (t + 1)));
+    for (std::uint32_t k = 0; k < c.p.packets_per_tile; ++k) {
+      schedule_hop(c, t, t, c.p.hop_latency,
+                   Packet{t * c.p.packets_per_tile + k, c.p.ttl});
+    }
+  }
+}
+
+MeshTrafficResult collect(const Ctx& c, Cycle final_cycle,
+                          std::uint64_t events) {
+  MeshTrafficResult r;
+  r.tile_digest.reserve(c.tiles.size());
+  for (const TileState& ts : c.tiles) r.tile_digest.push_back(ts.digest);
+  r.events = events;
+  r.final_cycle = final_cycle;
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t MeshTrafficResult::fingerprint() const {
+  std::uint64_t h = fnv1a64("mesh-traffic", 12);
+  const auto mix = [&h](std::uint64_t v) {
+    h = fnv1a64(reinterpret_cast<const char*>(&v), sizeof(v), h);
+  };
+  for (const std::uint64_t d : tile_digest) mix(d);
+  mix(events);
+  mix(final_cycle);
+  return h;
+}
+
+MeshTrafficResult run_mesh_traffic_serial(const MeshTrafficParams& p) {
+  check_params(p);
+  Ctx c;
+  c.p = p;
+  c.tiles.resize(static_cast<std::size_t>(p.width) * p.height);
+  EventQueue eq;
+  c.eq = &eq;
+  inject(c);
+  const Cycle end = eq.run();
+  return collect(c, end, eq.executed());
+}
+
+MeshTrafficResult run_mesh_traffic_sharded(const MeshTrafficParams& p,
+                                           unsigned threads) {
+  check_params(p);
+  Ctx c;
+  c.p = p;
+  const std::uint32_t ntiles = p.width * p.height;
+  c.tiles.resize(ntiles);
+  ShardedEventQueue engine(ntiles, threads, p.hop_latency);
+  c.engine = &engine;
+  inject(c);
+  const Cycle end = engine.run();
+  return collect(c, end, engine.executed());
+}
+
+}  // namespace tdn::sim

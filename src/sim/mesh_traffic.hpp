@@ -1,0 +1,52 @@
+// MeshTraffic — a shared-nothing reference simulation for the sharded
+// engine: random-walk packets hopping across a W×H mesh of tiles, one
+// domain per tile, with per-tile PRNGs and digests.
+//
+// It exists for two jobs:
+//   * Tests prove the engine's bit-identity contract on a genuinely
+//     multi-domain program: run_serial (one EventQueue) and run_sharded
+//     (ShardedEventQueue, any thread count) must produce identical
+//     digests, event counts and final cycles.
+//   * bench_micro_substrate measures real scaling: every hop is a
+//     cross-domain channel send, every tile's state is private, so the
+//     engine's window/barrier overhead and thread scaling are what is
+//     measured — not model-level sharing.
+//
+// The model honors the domain-ownership contract by construction: a hop's
+// action touches only the destination tile's state, and travels via
+// schedule_cross with `hop_latency` (== the engine lookahead) delay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tdn::sim {
+
+struct MeshTrafficParams {
+  unsigned width = 8;
+  unsigned height = 8;
+  unsigned packets_per_tile = 4;
+  unsigned ttl = 32;        ///< hops each packet makes before retiring
+  Cycle hop_latency = 2;    ///< per-hop delay; also the engine lookahead
+  unsigned work = 32;       ///< digest-mix rounds per hop (compute weight)
+  std::uint64_t seed = 1;
+};
+
+struct MeshTrafficResult {
+  std::vector<std::uint64_t> tile_digest;  ///< per-tile order-sensitive digest
+  std::uint64_t events = 0;
+  Cycle final_cycle = 0;
+  /// Stable hash over digests + events + final cycle, for identity asserts.
+  std::uint64_t fingerprint() const;
+};
+
+/// Reference: the whole mesh on one serial EventQueue.
+MeshTrafficResult run_mesh_traffic_serial(const MeshTrafficParams& p);
+/// One engine domain per tile, executed with @p threads workers. Bit-
+/// identical to run_serial for every thread count.
+MeshTrafficResult run_mesh_traffic_sharded(const MeshTrafficParams& p,
+                                           unsigned threads);
+
+}  // namespace tdn::sim

@@ -1,0 +1,324 @@
+#include "sim/sharded_event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdn::sim {
+
+ShardedEventQueue::ShardedEventQueue(std::vector<EventQueue*> domains,
+                                     unsigned threads, Cycle lookahead)
+    : queues_(std::move(domains)), lookahead_(lookahead) {
+  for (auto* q : queues_) TDN_REQUIRE(q != nullptr, "null domain queue");
+  init(threads);
+}
+
+ShardedEventQueue::ShardedEventQueue(unsigned domains, unsigned threads,
+                                     Cycle lookahead)
+    : lookahead_(lookahead) {
+  owned_.reserve(domains);
+  queues_.reserve(domains);
+  for (unsigned i = 0; i < domains; ++i) {
+    owned_.push_back(std::make_unique<EventQueue>());
+    queues_.push_back(owned_.back().get());
+  }
+  init(threads);
+}
+
+void ShardedEventQueue::init(unsigned threads) {
+  TDN_REQUIRE(!queues_.empty(), "engine needs at least one domain");
+  TDN_REQUIRE(lookahead_ >= 1, "lookahead must be at least one cycle");
+  threads_ = std::max(
+      1u, std::min(threads, static_cast<unsigned>(queues_.size())));
+  attach();
+  if (threads_ > 1) {
+    pool_.reserve(threads_);
+    for (unsigned w = 0; w < threads_; ++w) {
+      pool_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+ShardedEventQueue::~ShardedEventQueue() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : pool_) t.join();
+  detach();
+}
+
+void ShardedEventQueue::attach() {
+  for (auto* q : queues_) {
+    TDN_REQUIRE(q->shard_ == nullptr, "queue is already attached to an engine");
+  }
+  if (queues_.size() > 1) {
+    // With several domains, sequence numbers must be globally unique in
+    // call order (they are the serial tiebreaker). Fresh queues guarantee
+    // it: every later schedule draws from the engine-wide counter.
+    for (auto* q : queues_) {
+      TDN_REQUIRE(q->heap_.empty() && q->next_seq_ == 0,
+                  "multi-domain attach requires fresh queues: build the "
+                  "program through the attached domains");
+    }
+  }
+  next_seq_ = 0;
+  for (auto* q : queues_) next_seq_ = std::max(next_seq_, q->next_seq_);
+  clients_.resize(queues_.size());
+  channels_.resize(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    clients_[i].global_seq = &next_seq_;
+    queues_[i]->shard_ = &clients_[i];
+  }
+}
+
+void ShardedEventQueue::detach() noexcept {
+  for (auto* q : queues_) {
+    if (q->shard_ != nullptr) {
+      // The queue continues serially from the engine's counter, so a later
+      // schedule sorts after everything the engine numbered.
+      q->next_seq_ = next_seq_;
+      q->shard_ = nullptr;
+    }
+  }
+}
+
+void ShardedEventQueue::schedule_cross(DomainId from, DomainId to, Cycle when,
+                                       Action fn) {
+  TDN_REQUIRE(from < queues_.size() && to < queues_.size(),
+              "domain id out of range");
+  auto& c = clients_[from];
+  if (!c.in_window) {
+    // Program setup between windows: an ordinary schedule, numbered in
+    // call order by the engine-wide counter (see EventQueue::commit).
+    queues_[to]->schedule_at(when, std::move(fn));
+    return;
+  }
+  TDN_REQUIRE(from != to, "schedule_cross is for distinct domains");
+  TDN_REQUIRE(when >= queues_[from]->now_ + lookahead_,
+              "cross-domain send violates the lookahead horizon");
+  auto& ch = channels_[from];
+  // Reserve the emit slot first so the two appends cannot come apart: a
+  // channel message without its emit record would never receive a seq.
+  c.emits.reserve(c.emits.size() + 1);
+  ch.push_back(ChannelMsg{to, when, 0, std::move(fn)});
+  c.emits.push_back(EventQueue::ShardClient::EmitRec{
+      when, nullptr, -1, static_cast<std::int32_t>(ch.size() - 1)});
+}
+
+Cycle ShardedEventQueue::run() { return run_until(kNeverCycle); }
+
+Cycle ShardedEventQueue::run_until(Cycle limit) {
+  const Cycle cap = limit == kNeverCycle ? kNeverCycle : limit + 1;
+  for (;;) {
+    // T = earliest pending cycle anywhere, observers included.
+    Cycle t = kNeverCycle;
+    bool any = false;
+    for (auto* q : queues_) {
+      if (!q->heap_.empty()) {
+        any = true;
+        t = std::min(t, q->heap_.front()->when);
+      }
+    }
+    if (!any) break;
+    if (t > limit) {
+      finish_overrun();
+      break;
+    }
+    const Cycle horizon = std::min(
+        t >= kNeverCycle - lookahead_ ? kNeverCycle : t + lookahead_, cap);
+    ++windows_;
+    execute_window(horizon);
+    // The barrier replay runs even when a domain's action threw: whatever
+    // the window created must be renumbered so the engine (and a resumed
+    // run) only ever sees serial sequence numbers.
+    replay_renumber();
+    deliver_channels();
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::swap(err, first_error_);
+    }
+    if (err) std::rethrow_exception(err);
+  }
+  return now();
+}
+
+void ShardedEventQueue::execute_window(Cycle horizon) {
+  if (threads_ == 1) {
+    for (DomainId d = 0; d < queues_.size(); ++d) {
+      run_domain_window(d, horizon);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_count_ = 0;
+  work_horizon_ = horizon;
+  ++window_gen_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return done_count_ == threads_; });
+}
+
+void ShardedEventQueue::run_domain_window(DomainId d, Cycle horizon) noexcept {
+  try {
+    queues_[d]->run_window(horizon);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ShardedEventQueue::worker_loop(unsigned wid) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Cycle horizon = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || window_gen_ != seen; });
+      if (stop_) return;
+      seen = window_gen_;
+      horizon = work_horizon_;
+    }
+    for (DomainId d = wid; d < queues_.size();
+         d += static_cast<DomainId>(threads_)) {
+      run_domain_window(d, horizon);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_count_ == threads_) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedEventQueue::replay_renumber() {
+  // Reconstruct the order in which one serial queue would have assigned
+  // sequence numbers this window: executed events by (when, seq), each
+  // event's schedules in program order. See the header's bit-identity
+  // argument.
+  const auto later = [](const ReplayEnt& a, const ReplayEnt& b) noexcept {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  };
+  replay_.clear();
+  for (DomainId d = 0; d < clients_.size(); ++d) {
+    const auto& execs = clients_[d].execs;
+    for (std::uint32_t i = 0; i < execs.size(); ++i) {
+      if (!execs[i].provisional) {
+        replay_.push_back(ReplayEnt{execs[i].when, execs[i].seq, d, i});
+      }
+    }
+  }
+  std::make_heap(replay_.begin(), replay_.end(), later);
+  while (!replay_.empty()) {
+    std::pop_heap(replay_.begin(), replay_.end(), later);
+    const ReplayEnt e = replay_.back();
+    replay_.pop_back();
+    auto& c = clients_[e.d];
+    const auto exec = c.execs[e.exec];
+    for (std::uint32_t j = exec.emit_begin; j < exec.emit_end; ++j) {
+      auto& em = c.emits[j];
+      const std::uint64_t s = next_seq_++;
+      if (em.channel_msg >= 0) {
+        channels_[e.d][static_cast<std::size_t>(em.channel_msg)].seq = s;
+      } else if (em.child_exec >= 0) {
+        // The child ran this window too: its own schedules renumber once
+        // its serial position comes up.
+        replay_.push_back(
+            ReplayEnt{em.when, s, e.d, static_cast<std::uint32_t>(em.child_exec)});
+        std::push_heap(replay_.begin(), replay_.end(), later);
+      } else if (em.ev != nullptr) {
+        // Still pending locally: rewrite in place. Ranks were assigned in
+        // the same order seqs are now, so relative order inside the heap —
+        // and therefore the heap invariant — is untouched.
+        em.ev->seq = s;
+      }
+    }
+  }
+  for (auto& c : clients_) {
+    c.execs.clear();
+    c.emits.clear();
+    c.prov_count = 0;
+  }
+}
+
+void ShardedEventQueue::deliver_channels() {
+  for (auto& ch : channels_) {
+    for (auto& m : ch) {
+      queues_[m.to]->inject(m.when, m.seq, std::move(m.fn));
+      ++cross_messages_;
+    }
+    ch.clear();
+  }
+}
+
+void ShardedEventQueue::finish_overrun() {
+  // Every pending event lies past the limit. Serial execution would pop in
+  // (when, seq) order, dropping observers, until the first real event
+  // trips the guard without being consumed. Find that first real key, drop
+  // exactly the observers ahead of it, then fire the same guard.
+  Cycle rw = kNeverCycle;
+  std::uint64_t rs = std::numeric_limits<std::uint64_t>::max();
+  bool any_real = false;
+  for (auto* q : queues_) {
+    for (const auto* ev : q->heap_) {
+      if (ev->observer) continue;
+      if (!any_real || ev->when < rw || (ev->when == rw && ev->seq < rs)) {
+        any_real = true;
+        rw = ev->when;
+        rs = ev->seq;
+      }
+    }
+  }
+  for (auto* q : queues_) {
+    while (!q->heap_.empty()) {
+      const auto* top = q->heap_.front();
+      if (!top->observer) break;
+      if (any_real && !(top->when < rw || (top->when == rw && top->seq < rs))) {
+        break;
+      }
+      auto* ev = q->pop_top();
+      --q->observer_pending_;
+      ++q->observer_dropped_;
+      q->recycle(ev);
+    }
+  }
+  TDN_REQUIRE(!any_real, "simulation exceeded cycle limit (deadlock?)");
+}
+
+Cycle ShardedEventQueue::now() const noexcept {
+  Cycle n = 0;
+  for (const auto* q : queues_) n = std::max(n, q->now_);
+  return n;
+}
+
+std::uint64_t ShardedEventQueue::executed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto* q : queues_) n += q->executed_;
+  return n;
+}
+
+std::size_t ShardedEventQueue::pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto* q : queues_) n += q->pending();
+  return n;
+}
+
+std::size_t ShardedEventQueue::real_pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto* q : queues_) n += q->real_pending();
+  return n;
+}
+
+std::size_t ShardedEventQueue::observer_pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto* q : queues_) n += q->observer_pending();
+  return n;
+}
+
+std::uint64_t ShardedEventQueue::observer_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto* q : queues_) n += q->observer_dropped();
+  return n;
+}
+
+}  // namespace tdn::sim

@@ -1,0 +1,169 @@
+// ShardedEventQueue — conservative parallel discrete-event execution that is
+// bit-identical to the serial EventQueue (DESIGN.md decision 7).
+//
+// The simulation is partitioned into *domains*, each owning a private
+// EventQueue. Execution proceeds in windows: the engine finds the earliest
+// pending cycle T across all domains and lets every domain run its events
+// with `when < min(T + lookahead, limit + 1)` concurrently on a thread pool.
+// The lookahead is the minimum cross-domain latency (for the NoC, router +
+// link traversal of one hop — noc::DomainMap::lookahead), so no domain can
+// receive work inside a window it is already executing: cross-domain sends
+// go through per-source channels and are merged at the window barrier.
+//
+// Bit-identity argument. Serial execution is the unique order of the keys
+// (when, seq), where seq is assigned in schedule-call order. Two facts make
+// the sharded run identical:
+//
+//   1. Within a domain, a window executes exactly the serial order
+//      restricted to that domain: pending events carry their serial seqs,
+//      and events created inside the window (provisional seqs, in emit
+//      order) sort after them — which is where serial numbering would put
+//      them, because a child's seq always exceeds every pending seq.
+//   2. At the barrier the engine *replays* the window's exec/emit metadata
+//      in global (when, seq) order: walking executed events by key and
+//      their emits in program order reproduces, exactly, the sequence in
+//      which one serial queue would have assigned seqs. Provisional seqs —
+//      on still-pending events and on channel messages — are rewritten to
+//      those serial values (relative order within each heap is unchanged,
+//      so the rewrite preserves the heap invariant).
+//
+// Therefore every action runs at the same cycle, in the same global order,
+// against the same state as the serial run — fingerprints and metrics
+// hashes cannot differ. The one obligation on the *model* is the domain
+// ownership contract: an action scheduled on domain D may touch only state
+// owned by D (cross-domain effects travel through schedule_cross). A model
+// placed entirely on one domain (TiledSystem today) satisfies it trivially.
+//
+// threads=1 with a single domain is not routed here at all (callers run
+// the serial EventQueue directly); a multi-domain engine with threads=1
+// runs windows inline on the caller with no threads spawned — useful for
+// validating the channel protocol deterministically.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace tdn::sim {
+
+/// Index of one shard domain (e.g. one tile of the mesh).
+using DomainId = std::uint32_t;
+
+class ShardedEventQueue {
+ public:
+  /// Attach existing queues as domains (non-owning; detached on
+  /// destruction, at which point each queue continues serially with the
+  /// engine's sequence counter). Multi-domain attach requires fresh queues:
+  /// schedule the program *through the attached domains* so sequence
+  /// numbers are globally unique in call order. A single-domain attach
+  /// accepts a queue with history (the full-system path).
+  ShardedEventQueue(std::vector<EventQueue*> domains, unsigned threads,
+                    Cycle lookahead);
+  /// Convenience: create and own @p domains fresh queues.
+  ShardedEventQueue(unsigned domains, unsigned threads, Cycle lookahead);
+  ~ShardedEventQueue();
+  ShardedEventQueue(const ShardedEventQueue&) = delete;
+  ShardedEventQueue& operator=(const ShardedEventQueue&) = delete;
+
+  EventQueue& domain(DomainId d) {
+    TDN_REQUIRE(d < queues_.size(), "domain id out of range");
+    return *queues_[d];
+  }
+  unsigned domains() const noexcept {
+    return static_cast<unsigned>(queues_.size());
+  }
+  unsigned threads() const noexcept { return threads_; }
+  Cycle lookahead() const noexcept { return lookahead_; }
+
+  /// Cross-domain send. Inside a window this buffers the message in the
+  /// sender's channel (it must respect the lookahead horizon: when >=
+  /// sender.now() + lookahead) and the barrier stamps it with its serial
+  /// seq before delivery. Outside a window it is a plain schedule on the
+  /// destination, numbered in call order like any serial schedule.
+  void schedule_cross(DomainId from, DomainId to, Cycle when, Action fn);
+
+  /// Run until every domain drains. Returns the final cycle (max over
+  /// domains). An action that throws aborts the run after the current
+  /// window's barrier (state stays consistent); the exception is rethrown.
+  Cycle run();
+  /// Run with a hard cycle limit; same semantics as EventQueue::run_until —
+  /// non-destructive overrun guard, beyond-limit observers dropped, throws
+  /// RequireError if a real event lies past the limit.
+  Cycle run_until(Cycle limit);
+
+  Cycle now() const noexcept;
+  std::uint64_t executed() const noexcept;
+  std::size_t pending() const noexcept;
+  std::size_t real_pending() const noexcept;
+  std::size_t observer_pending() const noexcept;
+  std::uint64_t observer_dropped() const noexcept;
+  bool empty() const noexcept { return pending() == 0; }
+
+  /// Telemetry: barrier windows executed and cross-domain messages merged.
+  std::uint64_t windows() const noexcept { return windows_; }
+  std::uint64_t cross_messages() const noexcept { return cross_messages_; }
+
+ private:
+  struct ChannelMsg {
+    DomainId to = 0;
+    Cycle when = 0;
+    std::uint64_t seq = 0;  ///< serial seq, stamped at the window barrier
+    Action fn;
+  };
+  /// Replay-heap entry: one executed event, keyed by its serial (when, seq).
+  struct ReplayEnt {
+    Cycle when = 0;
+    std::uint64_t seq = 0;
+    DomainId d = 0;
+    std::uint32_t exec = 0;
+  };
+
+  void init(unsigned threads);
+  void attach();
+  void detach() noexcept;
+  void execute_window(Cycle horizon);
+  void replay_renumber();
+  void deliver_channels();
+  /// Serial end-phase once every pending event is past the limit: drop
+  /// observers the serial loop would have reached, then fire the guard if
+  /// a real event remains (non-destructively, exactly like the peek).
+  void finish_overrun();
+  void worker_loop(unsigned wid);
+  void run_domain_window(DomainId d, Cycle horizon) noexcept;
+
+  std::vector<EventQueue*> queues_;
+  std::vector<std::unique_ptr<EventQueue>> owned_;
+  std::vector<EventQueue::ShardClient> clients_;
+  std::vector<std::vector<ChannelMsg>> channels_;  ///< per source domain
+  std::vector<ReplayEnt> replay_;                  ///< reused barrier heap
+  unsigned threads_ = 1;
+  Cycle lookahead_ = 1;
+  std::uint64_t next_seq_ = 0;  ///< the engine-wide serial seq counter
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_messages_ = 0;
+
+  // Window handoff. The mutex is the happens-before edge for all domain
+  // state: workers acquire it before reading the horizon and after
+  // finishing their domains; the coordinator holds it while preparing a
+  // window and while replaying at the barrier.
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Cycle work_horizon_ = 0;
+  std::uint64_t window_gen_ = 0;
+  unsigned done_count_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;  ///< guarded by mu_
+};
+
+}  // namespace tdn::sim

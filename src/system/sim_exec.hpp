@@ -1,0 +1,29 @@
+// run_event_queue — one place that honors the sim.threads execution knob.
+//
+// threads <= 1 is *exactly* the serial code path: the queue's own
+// run_until, untouched. threads > 1 drives the same queue as domain 0 of a
+// windowed sim::ShardedEventQueue — bit-identical by the engine's replay
+// contract (DESIGN.md decision 7), and the full window/renumber machinery
+// runs against the real event stream. Today the whole machine occupies one
+// domain (the coherence layer shares state across tiles), so the windows
+// execute on the caller; per-tile machine domains are the ROADMAP item 1
+// follow-on, staged behind the Network/CoherentSystem set_shard hooks.
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/domain_map.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sharded_event_queue.hpp"
+#include "system/config.hpp"
+
+namespace tdn::system {
+
+inline Cycle run_event_queue(sim::EventQueue& eq, const SystemConfig& cfg,
+                             Cycle limit) {
+  if (cfg.sim.threads <= 1) return eq.run_until(limit);
+  sim::ShardedEventQueue engine({&eq}, cfg.sim.threads,
+                                noc::DomainMap::min_lookahead(cfg.network));
+  return engine.run_until(limit);
+}
+
+}  // namespace tdn::system

@@ -111,6 +111,83 @@ TEST(EventQueue, PoolRecyclesSlotsAcrossWaves) {
   EXPECT_LE(eq.pool_slots(), 256u);
 }
 
+TEST(EventQueue, PoolChurnPastOneChunkKeepsRecycleCapacity) {
+  // Regression: recycle() is noexcept (it runs in destructors during
+  // unwind) but free_.push_back could allocate once the pool grew past one
+  // chunk — grow_pool reserved only the new chunk's worth. The invariant is
+  // now free_capacity() >= pool_slots() at every growth step, so a recycle
+  // can never allocate no matter how the pool churns.
+  EventQueue eq;
+  std::uint64_t fired = 0;
+  for (int wave = 0; wave < 4; ++wave) {
+    // 600 concurrent events force the pool well past the first 256-slot
+    // chunk; draining them returns every slot through recycle().
+    for (int i = 0; i < 600; ++i) {
+      eq.schedule_in(static_cast<Cycle>(i % 7) + 1, [&] { ++fired; });
+    }
+    eq.run();
+    EXPECT_GE(eq.free_capacity(), eq.pool_slots());
+  }
+  EXPECT_EQ(fired, 2400u);
+  EXPECT_GE(eq.pool_slots(), 512u);
+}
+
+namespace {
+// Copying throws, moving does not — the only failure InlineFunction::emplace
+// admits (captures must be nothrow-move-constructible), so this is the
+// exception-safety injection vector for the schedule paths.
+struct ThrowOnCopy {
+  bool* ran;
+  explicit ThrowOnCopy(bool* r) : ran(r) {}
+  ThrowOnCopy(const ThrowOnCopy& other) : ran(other.ran) {
+    throw std::runtime_error("capture copy failed");
+  }
+  ThrowOnCopy(ThrowOnCopy&&) noexcept = default;
+  void operator()() const { *ran = true; }
+};
+}  // namespace
+
+TEST(EventQueue, ThrowingCaptureLeaksNoEventOrSeq) {
+  // Strong guarantee on schedule_at: a capture constructor that throws must
+  // leave the queue exactly as it was — no pending event, no consumed pool
+  // slot, and no skipped sequence number (same-cycle FIFO stays gapless).
+  EventQueue eq;
+  std::vector<int> order;
+  bool bad_ran = false;
+  eq.schedule_at(5, [&] { order.push_back(1); });
+  const std::size_t slots = eq.pool_slots();
+  ThrowOnCopy bad{&bad_ran};
+  EXPECT_THROW(eq.schedule_at(5, bad), std::runtime_error);
+  EXPECT_EQ(eq.pending(), 1u);
+  EXPECT_EQ(eq.pool_slots(), slots);
+  eq.schedule_at(5, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_FALSE(bad_ran);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueue, ThrowingObserverCaptureLeavesCensusUntouched) {
+  // Regression: schedule_observer_at bumped observer_pending_ before the
+  // push that could throw, so a failed emplace skewed the observer census
+  // (real_pending() and the ckpt quiescence check read it) and leaked a
+  // stamped seq. The counter now moves only after the event is in the heap.
+  EventQueue eq;
+  bool bad_ran = false;
+  eq.schedule_at(10, [] {});
+  eq.schedule_observer_at(5, [] {});
+  ThrowOnCopy bad{&bad_ran};
+  EXPECT_THROW(eq.schedule_observer_at(7, bad), std::runtime_error);
+  EXPECT_EQ(eq.pending(), 2u);
+  EXPECT_EQ(eq.observer_pending(), 1u);
+  EXPECT_EQ(eq.real_pending(), 1u);
+  // The queue stays fully usable: both surviving events run normally.
+  eq.run();
+  EXPECT_FALSE(bad_ran);
+  EXPECT_EQ(eq.executed(), 1u);
+  EXPECT_EQ(eq.observer_pending(), 0u);
+}
+
 TEST(InlineFunction, CallsAndReturnsThroughTheInlineBuffer) {
   InlineFunction<int(int), 64> f = [](int x) { return x * 2; };
   EXPECT_TRUE(static_cast<bool>(f));

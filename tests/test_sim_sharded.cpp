@@ -1,0 +1,300 @@
+// Sharded-engine tests: the bit-identity contract (serial EventQueue vs
+// ShardedEventQueue at every thread count), run_until overrun/observer
+// parity, the lookahead protocol, the Network channel hook, and the
+// end-to-end guarantee that `sim.threads` changes nothing but wall clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "harness/runner.hpp"
+#include "noc/domain_map.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/mesh_traffic.hpp"
+#include "sim/sharded_event_queue.hpp"
+
+namespace tdn {
+namespace {
+
+using sim::EventQueue;
+using sim::MeshTrafficParams;
+using sim::MeshTrafficResult;
+using sim::ShardedEventQueue;
+
+TEST(ShardedEventQueue, RunsAcrossDomainsWindowByWindow) {
+  ShardedEventQueue engine(/*domains=*/2, /*threads=*/1, /*lookahead=*/4);
+  std::vector<int> order;
+  engine.domain(0).schedule_at(10, [&] { order.push_back(1); });
+  engine.domain(1).schedule_at(5, [&] { order.push_back(0); });
+  engine.domain(0).schedule_at(5, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 10u);
+  // Within one window, cross-domain interleaving of side effects is
+  // unspecified — actions may only touch their own domain's state (this
+  // shared vector is a test-only violation). What IS guaranteed: the
+  // barrier between windows is a hard order, so both cycle-5 events
+  // (window 1) precede the cycle-10 event (window 2); per-domain order
+  // and the (when, seq) stamps match serial exactly (see the MeshTraffic
+  // and full-system bit-identity tests below).
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[2], 1);
+  std::vector<int> window1(order.begin(), order.begin() + 2);
+  std::sort(window1.begin(), window1.end());
+  EXPECT_EQ(window1, (std::vector<int>{0, 2}));
+  EXPECT_EQ(engine.executed(), 3u);
+  EXPECT_GE(engine.windows(), 2u);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(ShardedEventQueue, CrossDomainSendDeliversWithSerialOrdering) {
+  ShardedEventQueue engine(2, 1, /*lookahead=*/3);
+  std::vector<std::pair<int, Cycle>> log;
+  engine.domain(1).schedule_at(12, [&] { log.emplace_back(9, 12); });
+  engine.domain(0).schedule_at(10, [&, e = &engine] {
+    e->schedule_cross(0, 1, 13, [&] {
+      log.emplace_back(1, engine.domain(1).now());
+    });
+  });
+  engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (std::pair<int, Cycle>{9, 12}));
+  EXPECT_EQ(log[1], (std::pair<int, Cycle>{1, 13}));
+  EXPECT_EQ(engine.cross_messages(), 1u);
+}
+
+TEST(ShardedEventQueue, LookaheadViolationIsARequireError) {
+  ShardedEventQueue engine(2, 1, /*lookahead=*/5);
+  engine.domain(0).schedule_at(10, [&e = engine] {
+    // One cycle of delay is inside the conservative horizon: domain 1 may
+    // already be executing cycle 11 concurrently. The engine must refuse.
+    e.schedule_cross(0, 1, 11, [] {});
+  });
+  EXPECT_THROW(engine.run(), RequireError);
+}
+
+// --- run_until parity with the serial queue ------------------------------
+
+struct OverrunProgram {
+  // Schedules the same four events in the same call order on either one
+  // serial queue or two engine domains (d0: real@10 + observer@40,
+  // d1: real@100 + observer@150).
+  template <typename S0, typename S1>
+  static void build(S0&& d0, S1&& d1, std::vector<Cycle>* ran) {
+    d0.schedule_at(10, [ran, &d0] { ran->push_back(d0.now()); });
+    d1.schedule_at(100, [ran, &d1] { ran->push_back(d1.now()); });
+    d0.schedule_observer_at(40, [ran, &d0] { ran->push_back(d0.now()); });
+    d1.schedule_observer_at(150, [ran, &d1] { ran->push_back(d1.now()); });
+  }
+};
+
+TEST(ShardedEventQueue, OverrunAndResumeMatchSerialSemantics) {
+  // Serial reference.
+  EventQueue eq;
+  std::vector<Cycle> serial_ran;
+  OverrunProgram::build(eq, eq, &serial_ran);
+  EXPECT_THROW(eq.run_until(50), RequireError);
+
+  ShardedEventQueue engine(2, 1, /*lookahead=*/5);
+  std::vector<Cycle> sharded_ran;
+  OverrunProgram::build(engine.domain(0), engine.domain(1), &sharded_ran);
+  EXPECT_THROW(engine.run_until(50), RequireError);
+
+  // The overrun guard is non-destructive and the in-limit observer ran.
+  EXPECT_EQ(sharded_ran, serial_ran);
+  EXPECT_EQ(engine.executed(), eq.executed());
+  EXPECT_EQ(engine.pending(), eq.pending());
+  EXPECT_EQ(engine.observer_pending(), eq.observer_pending());
+  EXPECT_EQ(engine.observer_dropped(), eq.observer_dropped());
+  EXPECT_EQ(engine.now(), eq.now());
+
+  // Resume with a higher limit: both complete identically.
+  EXPECT_EQ(engine.run_until(200), eq.run_until(200));
+  EXPECT_EQ(sharded_ran, serial_ran);
+  EXPECT_EQ(engine.executed(), eq.executed());
+  EXPECT_EQ(engine.observer_dropped(), eq.observer_dropped());
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(ShardedEventQueue, BeyondLimitObserversDroppedLikeSerial) {
+  EventQueue eq;
+  eq.schedule_at(10, [] {});
+  eq.schedule_at(20, [] {});
+  eq.schedule_observer_at(100, [] {});
+  const Cycle serial_end = eq.run_until(50);
+
+  ShardedEventQueue engine(2, 1, /*lookahead=*/4);
+  engine.domain(0).schedule_at(10, [] {});
+  engine.domain(1).schedule_at(20, [] {});
+  engine.domain(0).schedule_observer_at(100, [] {});
+  EXPECT_EQ(engine.run_until(50), serial_end);
+  EXPECT_EQ(engine.executed(), eq.executed());
+  EXPECT_EQ(engine.observer_dropped(), eq.observer_dropped());
+  EXPECT_EQ(engine.observer_dropped(), 1u);
+  EXPECT_TRUE(engine.empty());
+}
+
+// --- MeshTraffic: genuinely multi-domain bit-identity --------------------
+
+TEST(ShardedEventQueue, MeshTrafficBitIdenticalAcrossThreadCounts) {
+  MeshTrafficParams p;
+  p.width = 6;
+  p.height = 6;
+  p.packets_per_tile = 3;
+  p.ttl = 24;
+  p.work = 8;
+  p.seed = 42;
+  const MeshTrafficResult ref = sim::run_mesh_traffic_serial(p);
+  // Every packet arrives once at injection and once per hop.
+  EXPECT_EQ(ref.events, 6ull * 6 * 3 * (24 + 1));
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const MeshTrafficResult r = sim::run_mesh_traffic_sharded(p, threads);
+    EXPECT_EQ(r.tile_digest, ref.tile_digest) << "threads=" << threads;
+    EXPECT_EQ(r.events, ref.events) << "threads=" << threads;
+    EXPECT_EQ(r.final_cycle, ref.final_cycle) << "threads=" << threads;
+    EXPECT_EQ(r.fingerprint(), ref.fingerprint()) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedEventQueue, MeshTrafficIdentityHoldsAcrossSeeds) {
+  for (const std::uint64_t seed : {7ull, 11ull, 13ull}) {
+    MeshTrafficParams p;
+    p.width = 4;
+    p.height = 4;
+    p.packets_per_tile = 2;
+    p.ttl = 16;
+    p.work = 4;
+    p.seed = seed;
+    const MeshTrafficResult ref = sim::run_mesh_traffic_serial(p);
+    const MeshTrafficResult r = sim::run_mesh_traffic_sharded(p, 4);
+    EXPECT_EQ(r.fingerprint(), ref.fingerprint()) << "seed=" << seed;
+  }
+}
+
+// --- Network channel hook ------------------------------------------------
+
+TEST(ShardedEventQueue, NetworkChannelProtocolMatchesSerialTiming) {
+  // All traffic originates on tile 0 so every link/stat update happens in
+  // domain 0's window order — the serial restriction — and deliveries to
+  // tiles 1..3 travel through the engine channels. Per-tile machine
+  // decomposition beyond this (multiple sending domains sharing links) is
+  // the staged ROADMAP follow-on.
+  const noc::Mesh mesh(2, 2);
+  const noc::NetworkConfig ncfg{};
+  using Arrivals = std::vector<std::pair<CoreId, Cycle>>;
+  const auto drive = [](noc::Network& net, EventQueue& sender_q,
+                        Arrivals& arrivals, auto now_of_dst) {
+    for (int burst = 0; burst < 3; ++burst) {
+      sender_q.schedule_at(static_cast<Cycle>(1 + burst * 4),
+                           [&net, &arrivals, now_of_dst, burst] {
+        for (CoreId dst = 1; dst < 4; ++dst) {
+          net.send(0, dst,
+                   burst % 2 == 0 ? noc::MsgClass::Data
+                                  : noc::MsgClass::Control,
+                   [&arrivals, dst, now_of_dst] {
+                     arrivals.emplace_back(dst, now_of_dst(dst));
+                   });
+        }
+      });
+    }
+  };
+
+  // Serial reference.
+  EventQueue eq;
+  noc::Network serial_net(mesh, eq, ncfg);
+  Arrivals serial_arrivals;
+  drive(serial_net, eq, serial_arrivals, [&eq](CoreId) { return eq.now(); });
+  eq.run();
+
+  // Sharded: one domain per tile, channel deliveries through the engine.
+  const noc::DomainMap dmap = noc::DomainMap::per_tile(mesh);
+  ShardedEventQueue engine(mesh.tiles(), /*threads=*/1,
+                           noc::DomainMap::min_lookahead(ncfg));
+  noc::Network net(mesh, engine.domain(0), ncfg);
+  net.set_shard(&engine, &dmap);
+  Arrivals sharded_arrivals;
+  drive(net, engine.domain(0), sharded_arrivals,
+        [&engine](CoreId dst) { return engine.domain(dst).now(); });
+  engine.run();
+  net.set_shard(nullptr, nullptr);
+
+  EXPECT_GT(engine.cross_messages(), 0u);
+  // Arrival cycles are identical; arrival *order across domains* within a
+  // window is by domain, so compare as sets.
+  std::sort(serial_arrivals.begin(), serial_arrivals.end());
+  std::sort(sharded_arrivals.begin(), sharded_arrivals.end());
+  EXPECT_EQ(sharded_arrivals, serial_arrivals);
+  EXPECT_EQ(net.messages(), serial_net.messages());
+  EXPECT_EQ(net.total_router_bytes(), serial_net.total_router_bytes());
+  EXPECT_EQ(net.total_hops(), serial_net.total_hops());
+  EXPECT_EQ(net.mean_latency(), serial_net.mean_latency());
+}
+
+// --- Full system: sim.threads is execution-only --------------------------
+
+std::uint64_t metrics_hash(const std::map<std::string, double>& m) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [k, v] : m) os << k << ',' << v << '\n';
+  const std::string s = os.str();
+  return fnv1a64(s.data(), s.size());
+}
+
+TEST(ShardedSystem, ConfigFingerprintIsThreadNeutral) {
+  // Like --jobs, sim.threads must never enter the fingerprint: results are
+  // bit-identical across thread counts, so all counts share cache entries
+  // and goldens (threads=1 is the exact serial path that minted them).
+  harness::RunConfig a;
+  a.workload = "gauss";
+  a.sys.sim.threads = 1;
+  harness::RunConfig b = a;
+  b.sys.sim.threads = 4;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ShardedSystem, MetricsBitIdenticalAcrossThreadCounts) {
+  // >= 3 policies x >= 2 workloads x >= 3 seeds, each compared across
+  // threads in {1, 2, 4}. The cache must be bypassed: fingerprints are
+  // thread-neutral by design, so a cached threads=1 result would mask a
+  // divergence.
+  const system::PolicyKind policies[] = {system::PolicyKind::SNuca,
+                                         system::PolicyKind::RNuca,
+                                         system::PolicyKind::TdNuca};
+  const char* workloads[] = {"gauss", "histo"};
+  const std::uint64_t seeds[] = {7, 11, 13};
+  for (const auto policy : policies) {
+    for (const char* workload : workloads) {
+      for (const std::uint64_t seed : seeds) {
+        harness::RunConfig cfg;
+        cfg.workload = workload;
+        cfg.policy = policy;
+        cfg.params.scale = 0.125;
+        cfg.params.seed = seed;
+        cfg.sys.sim.threads = 1;
+        const harness::RunResult ref =
+            harness::run_experiment(cfg, /*use_cache=*/false);
+        const std::uint64_t ref_hash = metrics_hash(ref.metrics);
+        for (const unsigned threads : {2u, 4u}) {
+          cfg.sys.sim.threads = threads;
+          const harness::RunResult r =
+              harness::run_experiment(cfg, /*use_cache=*/false);
+          EXPECT_EQ(metrics_hash(r.metrics), ref_hash)
+              << cfg.describe() << " threads=" << threads;
+          EXPECT_EQ(r.get("sim.cycles"), ref.get("sim.cycles"))
+              << cfg.describe() << " threads=" << threads;
+          EXPECT_EQ(r.get("sim.events"), ref.get("sim.events"))
+              << cfg.describe() << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdn
