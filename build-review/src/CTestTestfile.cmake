@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("sim")
+subdirs("obs")
+subdirs("vm")
+subdirs("mem")
+subdirs("noc")
+subdirs("cache")
+subdirs("coherence")
+subdirs("core")
+subdirs("runtime")
+subdirs("tdnuca")
+subdirs("nuca")
+subdirs("fault")
+subdirs("energy")
+subdirs("system")
+subdirs("workloads")
+subdirs("multi")
+subdirs("ckpt")
+subdirs("serve")
+subdirs("harness")
